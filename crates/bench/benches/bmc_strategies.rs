@@ -1,0 +1,66 @@
+//! Criterion benchmarks of whole BMC runs per ordering strategy on
+//! representative suite members — the statistically rigorous companion to
+//! the `table1` binary (which reports single-shot wall times like the
+//! paper's table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbmc_core::{BmcEngine, BmcOptions, OrderingStrategy};
+use rbmc_gens::families;
+
+fn bench_strategies(c: &mut Criterion) {
+    // Representative search-heavy instances (one passing, one failing).
+    let cases: Vec<(&str, Box<dyn Fn() -> rbmc_core::Model>, usize)> = vec![
+        (
+            "twin10",
+            Box::new(|| families::shift_twin(10)),
+            14,
+        ),
+        (
+            "fifo16_over",
+            Box::new(|| families::fifo_unguarded(4)),
+            18,
+        ),
+        (
+            "drift8x6",
+            Box::new(|| families::drifting_twin(8, 6)),
+            12,
+        ),
+    ];
+    for (name, make, depth) in cases {
+        let mut group = c.benchmark_group(format!("bmc/{name}"));
+        group.sample_size(10);
+        for (label, strategy) in [
+            ("standard", OrderingStrategy::Standard),
+            ("static", OrderingStrategy::RefinedStatic),
+            ("dynamic64", OrderingStrategy::RefinedDynamic { divisor: 64 }),
+            ("shtrichman", OrderingStrategy::Shtrichman),
+        ] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut engine = BmcEngine::new(
+                        make(),
+                        BmcOptions {
+                            max_depth: depth,
+                            strategy,
+                            ..BmcOptions::default()
+                        },
+                    );
+                    engine.run()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_unrolling(c: &mut Criterion) {
+    // Pure encoder throughput: formula generation without solving.
+    let model = families::fifo_guarded(4);
+    c.bench_function("unroll/fifo16_k20", |b| {
+        let unroller = rbmc_core::Unroller::new(&model);
+        b.iter(|| unroller.formula(20))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_unrolling);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the SAT solver substrate: BCP throughput,
+//! full solves of random 3-SAT near the phase transition, and the cost of
+//! CDG recording at the solver level (the §3.1 overhead, isolated).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbmc_cnf::{CnfFormula, Lit, Var};
+use rbmc_solver::{Solver, SolverOptions};
+
+fn random_3sat(seed: u64, num_vars: usize, num_clauses: usize) -> CnfFormula {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = CnfFormula::with_vars(num_vars);
+    for _ in 0..num_clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        f.add_clause(lits);
+    }
+    f
+}
+
+/// A long implication chain: x1, x1->x2, ..., x_{n-1}->x_n, forcing one BCP
+/// sweep across the whole formula.
+fn implication_chain(n: usize) -> CnfFormula {
+    let mut f = CnfFormula::with_vars(n);
+    f.add_clause([Var::new(0).positive()]);
+    for i in 0..n - 1 {
+        f.add_clause([Var::new(i).negative(), Var::new(i + 1).positive()]);
+    }
+    f
+}
+
+fn bench_bcp(c: &mut Criterion) {
+    let chain = implication_chain(20_000);
+    c.bench_function("bcp/chain_20k", |b| {
+        b.iter_batched(
+            || Solver::from_formula(&chain),
+            |mut s| s.solve(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve/random_3sat");
+    for &n in &[50usize, 100, 150] {
+        let clauses = (n as f64 * 4.26) as usize;
+        let f = random_3sat(7 + n as u64, n, clauses);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter_batched(
+                || Solver::from_formula(&f),
+                |mut s| s.solve(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cdg_overhead(c: &mut Criterion) {
+    // UNSAT instance with real conflict work: all clauses over few vars.
+    let f = random_3sat(99, 30, 350);
+    let mut group = c.benchmark_group("solve/cdg_overhead");
+    for (label, record) in [("off", false), ("on", true)] {
+        let opts = SolverOptions {
+            record_cdg: record,
+            ..SolverOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Solver::from_formula_with(&f, opts),
+                |mut s| s.solve(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcp, bench_random_3sat, bench_cdg_overhead);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates **Fig. 7**: per-depth statistics on one circuit — the number
+//! of decisions (left plot) and the number of implications (right plot) at
+//! each unrolling depth, for standard BMC vs refine-order BMC.
+//!
+//! The paper uses circuit `02_3_b2` (its slowest lock-style instance); our
+//! analog is the deepest search-heavy passing instance, `11_1_shift10_twin`
+//! (pass `--instance NAME` to pick another suite member). Smaller values
+//! mean smaller search trees — the paper's explanation for the speedup.
+//!
+//! Usage: `cargo run -p rbmc-bench --release --bin fig7 [-- --instance NAME]`
+
+use rbmc_bench::run_instance;
+use rbmc_core::{OrderingStrategy, Weighting};
+use rbmc_gens::suite_table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wanted = args
+        .iter()
+        .position(|a| a == "--instance")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("11_1_shift10_twin")
+        .to_string();
+    let suite = suite_table1();
+    let instance = suite
+        .iter()
+        .find(|b| b.name == wanted)
+        .unwrap_or_else(|| panic!("no suite instance named `{wanted}`"));
+
+    let base = run_instance(instance, OrderingStrategy::Standard, Weighting::Linear);
+    let refined = run_instance(instance, OrderingStrategy::RefinedStatic, Weighting::Linear);
+
+    println!("# Fig 7 analog on {} (paper: 02_3_b2)", instance.name);
+    println!("# x-axis: unrolling depth; series: BMC vs ref_ord_BMC");
+    println!("k,decisions_bmc,decisions_ref,implications_bmc,implications_ref");
+    let depths = base.run.per_depth.len().min(refined.run.per_depth.len());
+    for i in 0..depths {
+        let b = &base.run.per_depth[i];
+        let r = &refined.run.per_depth[i];
+        println!(
+            "{},{},{},{},{}",
+            b.depth, b.decisions, r.decisions, b.implications, r.implications
+        );
+    }
+    let total = |xs: &[u64]| xs.iter().sum::<u64>();
+    let b_dec: Vec<u64> = base.run.per_depth.iter().map(|d| d.decisions).collect();
+    let r_dec: Vec<u64> = refined.run.per_depth.iter().map(|d| d.decisions).collect();
+    let b_imp: Vec<u64> = base.run.per_depth.iter().map(|d| d.implications).collect();
+    let r_imp: Vec<u64> = refined.run.per_depth.iter().map(|d| d.implications).collect();
+    println!(
+        "# totals: decisions {} -> {}, implications {} -> {}",
+        total(&b_dec),
+        total(&r_dec),
+        total(&b_imp),
+        total(&r_imp)
+    );
+    println!(
+        "# shape check: refined decisions smaller at {} of {} depths",
+        b_dec
+            .iter()
+            .zip(&r_dec)
+            .filter(|&(b, r)| r < b)
+            .count(),
+        depths
+    );
+}

@@ -1,0 +1,121 @@
+//! Shared harness code for the experiment binaries (`table1`, `fig6`,
+//! `fig7`, `overhead`, and the ablations).
+//!
+//! Every binary regenerates one table or figure of the paper; see
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for recorded
+//! results.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use rbmc_core::{BmcEngine, BmcOptions, BmcOutcome, BmcRun, OrderingStrategy, Weighting};
+use rbmc_gens::{BenchInstance, Expectation};
+
+/// Result of running one instance under one strategy.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// Instance name.
+    pub name: String,
+    /// `T`/`F` ground truth label.
+    pub verdict: &'static str,
+    /// Strategy label (`bmc`, `sta`, `dyn`, `sht`).
+    pub strategy: &'static str,
+    /// Wall-clock time of the whole run.
+    pub time: Duration,
+    /// Total decisions over all depths.
+    pub decisions: u64,
+    /// Total implications over all depths.
+    pub implications: u64,
+    /// Total conflicts over all depths.
+    pub conflicts: u64,
+    /// Deepest completed depth.
+    pub completed_depth: usize,
+    /// Whether the verdict matched the instance's ground truth.
+    pub verdict_ok: bool,
+    /// The full run (per-depth statistics).
+    pub run: BmcRun,
+}
+
+/// Runs one benchmark instance under the given strategy and verifies the
+/// verdict against the instance's ground truth.
+///
+/// # Panics
+///
+/// Panics if the verdict contradicts the ground truth (the harness treats
+/// that as a correctness bug, not a data point).
+pub fn run_instance(
+    instance: &BenchInstance,
+    strategy: OrderingStrategy,
+    weighting: Weighting,
+) -> InstanceResult {
+    let start = Instant::now();
+    let mut engine = BmcEngine::new(
+        instance.model.clone(),
+        BmcOptions {
+            max_depth: instance.max_depth,
+            strategy,
+            weighting,
+            ..BmcOptions::default()
+        },
+    );
+    let run = engine.run_collecting();
+    let time = start.elapsed();
+    let verdict_ok = match (&run.outcome, instance.expectation) {
+        (BmcOutcome::Counterexample { depth, trace }, Expectation::FailsAt(d)) => {
+            assert!(
+                trace.validate(&instance.model).is_ok(),
+                "{}: invalid trace",
+                instance.name
+            );
+            *depth == d
+        }
+        (BmcOutcome::BoundReached { depth_completed }, Expectation::Holds) => {
+            *depth_completed == instance.max_depth
+        }
+        _ => false,
+    };
+    assert!(
+        verdict_ok,
+        "{} [{}]: verdict {:?} contradicts ground truth {:?}",
+        instance.name,
+        strategy.label(),
+        run.outcome,
+        instance.expectation
+    );
+    InstanceResult {
+        name: instance.name.clone(),
+        verdict: instance.verdict_label(),
+        strategy: strategy.label(),
+        time,
+        decisions: run.total_decisions(),
+        implications: run.total_implications(),
+        conflicts: run.total_conflicts(),
+        completed_depth: run.max_completed_depth().unwrap_or(0),
+        verdict_ok,
+        run,
+    }
+}
+
+/// The three Table 1 strategies in column order.
+pub fn table1_strategies() -> [OrderingStrategy; 3] {
+    [
+        OrderingStrategy::Standard,
+        OrderingStrategy::RefinedStatic,
+        OrderingStrategy::RefinedDynamic { divisor: 64 },
+    ]
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Percentage of `part` relative to `whole` (100% when `whole` is zero).
+pub fn ratio_percent(part: f64, whole: f64) -> f64 {
+    if whole == 0.0 {
+        100.0
+    } else {
+        part / whole * 100.0
+    }
+}

@@ -1,0 +1,468 @@
+//! And-inverter graphs with structural hashing.
+//!
+//! The AIG is the normalized two-input form of a netlist: every gate becomes
+//! a tree of AND nodes with complemented edges. Structural hashing merges
+//! identical nodes, which keeps unrolled BMC formulas small. The AIGER
+//! reader/writer ([`crate::aiger`]) works on this form.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Not;
+
+use crate::{GateOp, LatchInit, Netlist, Node, Signal};
+
+/// An AIG edge: a node index with a complement bit (node 0 is constant
+/// false, so code 0 = FALSE and code 1 = TRUE — the AIGER convention).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false (AIGER literal 0).
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true (AIGER literal 1).
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Builds an edge to `node`, complemented if `inverted`.
+    pub fn new(node: usize, inverted: bool) -> AigLit {
+        AigLit((node as u32) << 1 | inverted as u32)
+    }
+
+    /// Reconstructs an edge from its AIGER integer code.
+    pub fn from_code(code: usize) -> AigLit {
+        AigLit(code as u32)
+    }
+
+    /// The AIGER integer code (`2·node + complement`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The node index.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_inverted(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Applies the complement bit to a node value.
+    pub fn apply(self, node_value: bool) -> bool {
+        node_value ^ self.is_inverted()
+    }
+}
+
+impl Not for AigLit {
+    type Output = AigLit;
+
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}{}", if self.is_inverted() { "!" } else { "" }, self.node())
+    }
+}
+
+/// Kind of an AIG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AigNodeKind {
+    Const,
+    Input,
+    Latch,
+    And(AigLit, AigLit),
+}
+
+/// An and-inverter graph.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_circuit::{Aig, AigLit};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let f = aig.and2(a, b);
+/// // Structural hashing: the same AND is not duplicated.
+/// assert_eq!(aig.and2(a, b), f);
+/// assert_eq!(aig.and2(b, a), f); // commutativity normalized
+/// assert_eq!(aig.num_ands(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<AigNodeKind>,
+    strash: HashMap<(AigLit, AigLit), usize>,
+    inputs: Vec<usize>,
+    latches: Vec<usize>,
+    latch_next: HashMap<usize, AigLit>,
+    latch_init: HashMap<usize, LatchInit>,
+    outputs: Vec<(String, AigLit)>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![AigNodeKind::Const],
+            ..Aig::default()
+        }
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self) -> AigLit {
+        let id = self.nodes.len();
+        self.nodes.push(AigNodeKind::Input);
+        self.inputs.push(id);
+        AigLit::new(id, false)
+    }
+
+    /// Adds a latch with the given reset value.
+    pub fn add_latch(&mut self, init: LatchInit) -> AigLit {
+        let id = self.nodes.len();
+        self.nodes.push(AigNodeKind::Latch);
+        self.latches.push(id);
+        self.latch_init.insert(id, init);
+        AigLit::new(id, false)
+    }
+
+    /// Connects the next-state function of a latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is complemented, is not a latch, or is already
+    /// connected.
+    pub fn set_next(&mut self, latch: AigLit, next: AigLit) {
+        assert!(!latch.is_inverted(), "latch reference must be plain");
+        assert!(
+            matches!(self.nodes[latch.node()], AigNodeKind::Latch),
+            "set_next on a non-latch"
+        );
+        let prev = self.latch_next.insert(latch.node(), next);
+        assert!(prev.is_none(), "latch already connected");
+    }
+
+    /// Two-input AND with constant folding and structural hashing.
+    pub fn and2(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Folding.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE || a == b {
+            return b;
+        }
+        if b == AigLit::TRUE {
+            return a;
+        }
+        // Normalize operand order for hashing.
+        let key = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&key) {
+            return AigLit::new(id, false);
+        }
+        let id = self.nodes.len();
+        self.nodes.push(AigNodeKind::And(key.0, key.1));
+        self.strash.insert(key, id);
+        AigLit::new(id, false)
+    }
+
+    /// Two-input OR (`¬(¬a ∧ ¬b)`).
+    pub fn or2(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and2(!a, !b)
+    }
+
+    /// Two-input XOR (two ANDs plus an OR).
+    pub fn xor2(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let l = self.and2(a, !b);
+        let r = self.and2(!a, b);
+        self.or2(l, r)
+    }
+
+    /// Multiplexer `if s then a else b`.
+    pub fn mux(&mut self, s: AigLit, a: AigLit, b: AigLit) -> AigLit {
+        let t = self.and2(s, a);
+        let e = self.and2(!s, b);
+        self.or2(t, e)
+    }
+
+    /// Declares a named output.
+    pub fn add_output(&mut self, name: &str, lit: AigLit) {
+        self.outputs.push((name.to_string(), lit));
+    }
+
+    /// Number of nodes (constant included).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNodeKind::And(..)))
+            .count()
+    }
+
+    /// Input node indices in creation order.
+    pub fn inputs(&self) -> &[usize] {
+        &self.inputs
+    }
+
+    /// Latch node indices in creation order.
+    pub fn latches(&self) -> &[usize] {
+        &self.latches
+    }
+
+    /// Next-state function of a latch node.
+    pub fn next_of(&self, latch_node: usize) -> Option<AigLit> {
+        self.latch_next.get(&latch_node).copied()
+    }
+
+    /// Reset value of a latch node.
+    pub fn init_of(&self, latch_node: usize) -> Option<LatchInit> {
+        self.latch_init.get(&latch_node).copied()
+    }
+
+    /// The fanins of an AND node (`None` for other nodes).
+    pub fn and_fanins(&self, node: usize) -> Option<(AigLit, AigLit)> {
+        match self.nodes[node] {
+            AigNodeKind::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Declared outputs.
+    pub fn outputs(&self) -> &[(String, AigLit)] {
+        &self.outputs
+    }
+
+    /// Evaluates one frame: node values from latch and input values (both in
+    /// creation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value slices do not match the latch/input counts.
+    pub fn eval_frame(&self, latch_values: &[bool], input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(latch_values.len(), self.latches.len());
+        assert_eq!(input_values.len(), self.inputs.len());
+        let mut values = vec![false; self.nodes.len()];
+        for (&id, &v) in self.inputs.iter().zip(input_values) {
+            values[id] = v;
+        }
+        for (&id, &v) in self.latches.iter().zip(latch_values) {
+            values[id] = v;
+        }
+        // Nodes are created fanin-first, so index order is topological.
+        for id in 0..self.nodes.len() {
+            if let AigNodeKind::And(a, b) = self.nodes[id] {
+                values[id] = a.apply(values[a.node()]) && b.apply(values[b.node()]);
+            }
+        }
+        values
+    }
+}
+
+/// The result of lowering a [`Netlist`] to an [`Aig`].
+#[derive(Debug, Clone)]
+pub struct NetlistToAig {
+    /// The lowered AIG.
+    pub aig: Aig,
+    /// For each netlist node index, the corresponding AIG literal.
+    pub map: Vec<AigLit>,
+}
+
+impl Aig {
+    /// Lowers a netlist to AIG form (n-ary gates become balanced AND trees;
+    /// XOR and MUX expand to their AND/OR decompositions). Outputs and latch
+    /// connectivity are carried over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn from_netlist(netlist: &Netlist) -> NetlistToAig {
+        netlist.validate().expect("netlist must be well-formed");
+        let mut aig = Aig::new();
+        let mut map: Vec<AigLit> = vec![AigLit::FALSE; netlist.num_nodes()];
+        // Inputs and latches first (stable order).
+        for id in netlist.node_ids() {
+            match netlist.node(id) {
+                Node::Input => map[id.index()] = aig.add_input(),
+                Node::Latch { init, .. } => map[id.index()] = aig.add_latch(*init),
+                _ => {}
+            }
+        }
+        let read = |map: &Vec<AigLit>, s: Signal| -> AigLit {
+            let lit = map[s.node().index()];
+            if s.is_inverted() {
+                !lit
+            } else {
+                lit
+            }
+        };
+        for id in netlist.topo_order() {
+            if let Node::Gate { op, fanins } = netlist.node(id) {
+                let lits: Vec<AigLit> = fanins.iter().map(|&s| read(&map, s)).collect();
+                let result = match op {
+                    GateOp::And => balanced_tree(&mut aig, &lits, Aig::and2),
+                    GateOp::Or => balanced_tree(&mut aig, &lits, Aig::or2),
+                    GateOp::Xor => balanced_tree(&mut aig, &lits, Aig::xor2),
+                    GateOp::Mux => aig.mux(lits[0], lits[1], lits[2]),
+                };
+                map[id.index()] = result;
+            }
+        }
+        for id in netlist.node_ids() {
+            if let Node::Latch {
+                next: Some(next), ..
+            } = netlist.node(id)
+            {
+                let latch_lit = map[id.index()];
+                let next_lit = read(&map, *next);
+                aig.set_next(latch_lit, next_lit);
+            }
+        }
+        for (name, sig) in netlist.outputs() {
+            let lit = read(&map, *sig);
+            aig.add_output(name, lit);
+        }
+        NetlistToAig { aig, map }
+    }
+}
+
+/// Reduces a literal list with `op` as a balanced tree (keeps depth
+/// logarithmic).
+fn balanced_tree(aig: &mut Aig, lits: &[AigLit], op: fn(&mut Aig, AigLit, AigLit) -> AigLit) -> AigLit {
+    match lits.len() {
+        0 => AigLit::TRUE, // AND identity; callers with empty OR/XOR are folded earlier
+        1 => lits[0],
+        n => {
+            let (l, r) = lits.split_at(n / 2);
+            let left = balanced_tree(aig, l, op);
+            let right = balanced_tree(aig, r, op);
+            op(aig, left, right)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{eval_frame, read_signal};
+    use crate::LatchInit;
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        assert_eq!(aig.and2(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(aig.and2(a, AigLit::TRUE), a);
+        assert_eq!(aig.and2(a, a), a);
+        assert_eq!(aig.and2(a, !a), AigLit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn strashing_shares_structure() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let c = aig.add_input();
+        let ab1 = aig.and2(a, b);
+        let ab2 = aig.and2(b, a);
+        assert_eq!(ab1, ab2);
+        let abc1 = aig.and2(ab1, c);
+        let abc2 = aig.and2(c, ab2);
+        assert_eq!(abc1, abc2);
+        assert_eq!(aig.num_ands(), 2);
+    }
+
+    #[test]
+    fn xor_and_mux_semantics() {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let s = aig.add_input();
+        let x = aig.xor2(a, b);
+        let m = aig.mux(s, a, b);
+        for bits in 0..8 {
+            let inputs = [bits & 1 == 1, bits & 2 != 0, bits & 4 != 0];
+            let values = aig.eval_frame(&[], &inputs);
+            let (av, bv, sv) = (inputs[0], inputs[1], inputs[2]);
+            assert_eq!(x.apply(values[x.node()]), av ^ bv);
+            assert_eq!(m.apply(values[m.node()]), if sv { av } else { bv });
+        }
+    }
+
+    #[test]
+    fn lowering_preserves_combinational_semantics() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.and_many(&[a, b, c]);
+        let g2 = n.xor_many(&[a, b, c]);
+        let g3 = n.mux(a, g1, g2);
+        n.add_output("o", g3);
+        let lowered = Aig::from_netlist(&n);
+        for bits in 0..8u8 {
+            let inputs = [bits & 1 == 1, bits & 2 != 0, bits & 4 != 0];
+            let net_vals = eval_frame(&n, &[], &inputs);
+            let aig_vals = lowered.aig.eval_frame(&[], &inputs);
+            let (_, out_lit) = &lowered.aig.outputs()[0];
+            assert_eq!(
+                out_lit.apply(aig_vals[out_lit.node()]),
+                read_signal(&net_vals, g3),
+                "inputs {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowering_preserves_sequential_semantics() {
+        // 3-bit counter; compare netlist and AIG state evolution.
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..3)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let next = n.bus_increment(&bits);
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let lowered = Aig::from_netlist(&n);
+        let aig = &lowered.aig;
+        let mut net_state = vec![false; 3];
+        let mut aig_state = vec![false; 3];
+        for _ in 0..10 {
+            assert_eq!(net_state, aig_state);
+            let net_vals = eval_frame(&n, &net_state, &[]);
+            let aig_vals = aig.eval_frame(&aig_state, &[]);
+            net_state = n
+                .latches()
+                .iter()
+                .map(|&id| match n.node(id) {
+                    Node::Latch { next: Some(nx), .. } => read_signal(&net_vals, *nx),
+                    _ => unreachable!(),
+                })
+                .collect();
+            aig_state = aig
+                .latches()
+                .iter()
+                .map(|&id| {
+                    let nx = aig.next_of(id).unwrap();
+                    nx.apply(aig_vals[nx.node()])
+                })
+                .collect();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_rejected() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(LatchInit::Zero);
+        aig.set_next(l, AigLit::TRUE);
+        aig.set_next(l, AigLit::FALSE);
+    }
+}

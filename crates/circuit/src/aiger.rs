@@ -1,0 +1,453 @@
+//! ASCII AIGER (`aag`) reading and writing for [`Aig`]s.
+//!
+//! Supports the sequential subset of AIGER 1.9: the `aag` header, inputs,
+//! latches with optional reset values, outputs, AND gates, and the symbol
+//! table. Binary `aig` files, bad-state/constraint/justice sections are out
+//! of scope.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Aig, AigLit, LatchInit};
+
+/// Error produced when parsing an `aag` file fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAigerError {
+    line: usize,
+    message: String,
+}
+
+impl ParseAigerError {
+    fn new(line: usize, message: impl Into<String>) -> ParseAigerError {
+        ParseAigerError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aiger error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAigerError {}
+
+/// Writes an [`Aig`] as an ASCII AIGER (`aag`) string, including a symbol
+/// table for the outputs.
+///
+/// Latch resets follow AIGER 1.9: `0`, `1`, or the latch's own literal for
+/// an uninitialized ([`LatchInit::Free`]) latch.
+///
+/// # Panics
+///
+/// Panics if some latch has no next-state function.
+pub fn write_aag(aig: &Aig) -> String {
+    // Renumber: inputs first, then latches, then ANDs in index order.
+    let mut var_of: HashMap<usize, usize> = HashMap::new();
+    var_of.insert(0, 0); // constant
+    let mut next_var = 1;
+    for &id in aig.inputs() {
+        var_of.insert(id, next_var);
+        next_var += 1;
+    }
+    for &id in aig.latches() {
+        var_of.insert(id, next_var);
+        next_var += 1;
+    }
+    let mut and_nodes: Vec<usize> = Vec::new();
+    for node in 0..aig.num_nodes() {
+        if aig.and_fanins(node).is_some() {
+            var_of.insert(node, next_var);
+            and_nodes.push(node);
+            next_var += 1;
+        }
+    }
+    let lit_of = |lit: AigLit| -> usize { var_of[&lit.node()] * 2 + lit.is_inverted() as usize };
+
+    let m = next_var - 1;
+    let mut out = format!(
+        "aag {m} {} {} {} {}\n",
+        aig.inputs().len(),
+        aig.latches().len(),
+        aig.outputs().len(),
+        and_nodes.len()
+    );
+    for &id in aig.inputs() {
+        out.push_str(&format!("{}\n", var_of[&id] * 2));
+    }
+    for &id in aig.latches() {
+        let next = aig.next_of(id).expect("latch connected");
+        let own = var_of[&id] * 2;
+        let reset = match aig.init_of(id).unwrap_or(LatchInit::Zero) {
+            LatchInit::Zero => 0,
+            LatchInit::One => 1,
+            LatchInit::Free => own,
+        };
+        if reset == 0 {
+            out.push_str(&format!("{own} {}\n", lit_of(next)));
+        } else {
+            out.push_str(&format!("{own} {} {reset}\n", lit_of(next)));
+        }
+    }
+    for (_, lit) in aig.outputs() {
+        out.push_str(&format!("{}\n", lit_of(*lit)));
+    }
+    for &node in &and_nodes {
+        let (a, b) = aig.and_fanins(node).expect("node is an AND");
+        // AIGER convention: lhs > rhs0 >= rhs1.
+        let (mut r0, mut r1) = (lit_of(a), lit_of(b));
+        if r0 < r1 {
+            std::mem::swap(&mut r0, &mut r1);
+        }
+        out.push_str(&format!("{} {r0} {r1}\n", var_of[&node] * 2));
+    }
+    for (i, (name, _)) in aig.outputs().iter().enumerate() {
+        out.push_str(&format!("o{i} {name}\n"));
+    }
+    out
+}
+
+/// Parses an ASCII AIGER (`aag`) string into an [`Aig`].
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] on malformed headers, out-of-range literals,
+/// counts that do not match the header, or AND definitions that form a cycle.
+pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::new(1, "empty file"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseAigerError::new(1, "malformed header (want `aag M I L O A`)"));
+    }
+    let parse_num = |s: &str, line: usize| -> Result<usize, ParseAigerError> {
+        s.parse()
+            .map_err(|_| ParseAigerError::new(line, format!("bad number `{s}`")))
+    };
+    let m = parse_num(fields[1], 1)?;
+    let i = parse_num(fields[2], 1)?;
+    let l = parse_num(fields[3], 1)?;
+    let o = parse_num(fields[4], 1)?;
+    let a = parse_num(fields[5], 1)?;
+
+    struct LatchLine {
+        own_var: usize,
+        next_code: usize,
+        reset: usize,
+    }
+    struct AndLine {
+        lhs_var: usize,
+        rhs0: usize,
+        rhs1: usize,
+    }
+
+    let mut input_vars: Vec<usize> = Vec::with_capacity(i);
+    let mut latch_lines: Vec<LatchLine> = Vec::with_capacity(l);
+    let mut output_codes: Vec<usize> = Vec::with_capacity(o);
+    let mut and_lines: Vec<AndLine> = Vec::with_capacity(a);
+    let mut symbols: HashMap<String, String> = HashMap::new();
+
+    let mut section_counts = [i, l, o, a];
+    let mut section = 0usize;
+    for (lineno, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "c" {
+            break; // comment section: ignore the rest
+        }
+        // Symbol table entries.
+        if line.starts_with('i') || line.starts_with('l') || line.starts_with('o') {
+            if let Some((key, name)) = line.split_once(' ') {
+                if key.len() >= 2 && key[1..].chars().all(|c| c.is_ascii_digit()) {
+                    symbols.insert(key.to_string(), name.to_string());
+                    continue;
+                }
+            }
+        }
+        while section < 4 && section_counts[section] == 0 {
+            section += 1;
+        }
+        if section == 4 {
+            return Err(ParseAigerError::new(lineno, "unexpected extra line"));
+        }
+        section_counts[section] -= 1;
+        let nums: Vec<usize> = {
+            let mut v = Vec::new();
+            for tok in line.split_whitespace() {
+                v.push(parse_num(tok, lineno)?);
+            }
+            v
+        };
+        let check_lit = |code: usize, lineno: usize| -> Result<usize, ParseAigerError> {
+            if code / 2 > m {
+                Err(ParseAigerError::new(lineno, format!("literal {code} exceeds M")))
+            } else {
+                Ok(code)
+            }
+        };
+        match section {
+            0 => {
+                if nums.len() != 1 || nums[0] % 2 != 0 || nums[0] == 0 {
+                    return Err(ParseAigerError::new(lineno, "malformed input line"));
+                }
+                input_vars.push(check_lit(nums[0], lineno)? / 2);
+            }
+            1 => {
+                if !(nums.len() == 2 || nums.len() == 3) || nums[0] % 2 != 0 || nums[0] == 0 {
+                    return Err(ParseAigerError::new(lineno, "malformed latch line"));
+                }
+                latch_lines.push(LatchLine {
+                    own_var: check_lit(nums[0], lineno)? / 2,
+                    next_code: check_lit(nums[1], lineno)?,
+                    reset: if nums.len() == 3 { nums[2] } else { 0 },
+                });
+            }
+            2 => {
+                if nums.len() != 1 {
+                    return Err(ParseAigerError::new(lineno, "malformed output line"));
+                }
+                output_codes.push(check_lit(nums[0], lineno)?);
+            }
+            3 => {
+                if nums.len() != 3 || nums[0] % 2 != 0 || nums[0] == 0 {
+                    return Err(ParseAigerError::new(lineno, "malformed and line"));
+                }
+                and_lines.push(AndLine {
+                    lhs_var: check_lit(nums[0], lineno)? / 2,
+                    rhs0: check_lit(nums[1], lineno)?,
+                    rhs1: check_lit(nums[2], lineno)?,
+                });
+            }
+            _ => unreachable!(),
+        }
+    }
+    if section_counts.iter().any(|&c| c != 0) {
+        return Err(ParseAigerError::new(0, "fewer lines than the header declares"));
+    }
+
+    // Build the AIG: map aag variables to AigLits.
+    let mut aig = Aig::new();
+    let mut lit_of_var: HashMap<usize, AigLit> = HashMap::new();
+    lit_of_var.insert(0, AigLit::FALSE);
+    for &v in &input_vars {
+        let lit = aig.add_input();
+        if lit_of_var.insert(v, lit).is_some() {
+            return Err(ParseAigerError::new(0, format!("variable {v} redefined")));
+        }
+    }
+    for line in &latch_lines {
+        let init = match line.reset {
+            0 => LatchInit::Zero,
+            1 => LatchInit::One,
+            r if r == line.own_var * 2 => LatchInit::Free,
+            other => {
+                return Err(ParseAigerError::new(0, format!("bad reset {other}")));
+            }
+        };
+        let lit = aig.add_latch(init);
+        if lit_of_var.insert(line.own_var, lit).is_some() {
+            return Err(ParseAigerError::new(
+                0,
+                format!("variable {} redefined", line.own_var),
+            ));
+        }
+    }
+    // Resolve AND gates; AIGER guarantees rhs < lhs in well-formed files, but
+    // be liberal: iterate until a fixed point, then fail on leftovers.
+    let mut remaining: Vec<&AndLine> = and_lines.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|line| {
+            let r0 = lit_of_var.get(&(line.rhs0 / 2)).copied();
+            let r1 = lit_of_var.get(&(line.rhs1 / 2)).copied();
+            match (r0, r1) {
+                (Some(a), Some(b)) => {
+                    let a = if line.rhs0 % 2 == 1 { !a } else { a };
+                    let b = if line.rhs1 % 2 == 1 { !b } else { b };
+                    let lit = aig.and2(a, b);
+                    lit_of_var.insert(line.lhs_var, lit);
+                    false
+                }
+                _ => true,
+            }
+        });
+        if remaining.len() == before {
+            return Err(ParseAigerError::new(
+                0,
+                "cyclic or dangling AND definitions",
+            ));
+        }
+    }
+    let resolve = |code: usize| -> Result<AigLit, ParseAigerError> {
+        let base = lit_of_var
+            .get(&(code / 2))
+            .copied()
+            .ok_or_else(|| ParseAigerError::new(0, format!("undefined literal {code}")))?;
+        Ok(if code % 2 == 1 { !base } else { base })
+    };
+    for (idx, line) in latch_lines.iter().enumerate() {
+        let own = lit_of_var[&line.own_var];
+        aig.set_next(own, resolve(line.next_code)?);
+        let _ = idx;
+    }
+    for (idx, &code) in output_codes.iter().enumerate() {
+        let name = symbols
+            .get(&format!("o{idx}"))
+            .cloned()
+            .unwrap_or_else(|| format!("o{idx}"));
+        let lit = resolve(code)?;
+        aig.add_output(&name, lit);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LatchInit, Netlist};
+
+    fn behaviourally_equal(a: &Aig, b: &Aig, steps: usize) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.latches().len(), b.latches().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let init = |aig: &Aig| -> Vec<bool> {
+            aig.latches()
+                .iter()
+                .map(|&l| matches!(aig.init_of(l), Some(LatchInit::One)))
+                .collect()
+        };
+        let mut sa = init(a);
+        let mut sb = init(b);
+        for step in 0..steps {
+            let inputs: Vec<bool> = (0..a.inputs().len())
+                .map(|k| (step + k) % 3 == 0)
+                .collect();
+            let va = a.eval_frame(&sa, &inputs);
+            let vb = b.eval_frame(&sb, &inputs);
+            for ((_, la), (_, lb)) in a.outputs().iter().zip(b.outputs()) {
+                assert_eq!(
+                    la.apply(va[la.node()]),
+                    lb.apply(vb[lb.node()]),
+                    "output diverged at step {step}"
+                );
+            }
+            sa = a
+                .latches()
+                .iter()
+                .map(|&l| {
+                    let nx = a.next_of(l).unwrap();
+                    nx.apply(va[nx.node()])
+                })
+                .collect();
+            sb = b
+                .latches()
+                .iter()
+                .map(|&l| {
+                    let nx = b.next_of(l).unwrap();
+                    nx.apply(vb[nx.node()])
+                })
+                .collect();
+        }
+    }
+
+    fn sample_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_input();
+        let b = aig.add_input();
+        let l = aig.add_latch(LatchInit::One);
+        let g = aig.xor2(a, l);
+        let h = aig.and2(g, !b);
+        aig.set_next(l, h);
+        aig.add_output("out", g);
+        aig
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let aig = sample_aig();
+        let text = write_aag(&aig);
+        let back = parse_aag(&text).unwrap();
+        behaviourally_equal(&aig, &back, 16);
+        // Output name carried through the symbol table.
+        assert_eq!(back.outputs()[0].0, "out");
+    }
+
+    #[test]
+    fn roundtrip_from_netlist() {
+        let mut n = Netlist::new();
+        let x = n.add_input("x");
+        let l0 = n.add_latch("l0", LatchInit::Zero);
+        let l1 = n.add_latch("l1", LatchInit::Free);
+        let g = n.mux(x, l0, !l1);
+        n.set_next(l0, g);
+        n.set_next(l1, !g);
+        n.add_output("g", g);
+        let lowered = Aig::from_netlist(&n);
+        let text = write_aag(&lowered.aig);
+        let back = parse_aag(&text).unwrap();
+        behaviourally_equal(&lowered.aig, &back, 12);
+        // Free latch reset survives the roundtrip.
+        let free_latches = back
+            .latches()
+            .iter()
+            .filter(|&&l| matches!(back.init_of(l), Some(LatchInit::Free)))
+            .count();
+        assert_eq!(free_latches, 1);
+    }
+
+    #[test]
+    fn parses_minimal_file() {
+        // Single AND of two inputs.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n";
+        let aig = parse_aag(text).unwrap();
+        assert_eq!(aig.inputs().len(), 2);
+        assert_eq!(aig.num_ands(), 1);
+        let vals = aig.eval_frame(&[], &[true, true]);
+        let (_, out) = &aig.outputs()[0];
+        assert!(out.apply(vals[out.node()]));
+    }
+
+    #[test]
+    fn parses_constant_output() {
+        let text = "aag 0 0 0 1 0\n1\n";
+        let aig = parse_aag(text).unwrap();
+        assert_eq!(aig.outputs()[0].1, AigLit::TRUE);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_aag("aig 1 1 0 0 0\n2\n").is_err());
+        assert!(parse_aag("aag 1 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let err = parse_aag("aag 2 2 0 0 0\n2\n").unwrap_err();
+        assert!(err.to_string().contains("fewer lines"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let err = parse_aag("aag 1 0 0 1 0\n99\n").unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn comment_section_is_ignored() {
+        let text = "aag 1 1 0 1 0\n2\n2\nc\nanything goes here\n";
+        let aig = parse_aag(text).unwrap();
+        assert_eq!(aig.inputs().len(), 1);
+    }
+}

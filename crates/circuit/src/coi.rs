@@ -1,0 +1,234 @@
+//! Cone-of-influence analysis and reduction.
+//!
+//! The cone of influence of a signal is everything that can affect it:
+//! transitively, the fanins of its node, and — through latches — the fanins
+//! of their next-state functions. Nodes outside the cone cannot influence a
+//! property and can be dropped before encoding. (The paper's abstractions of
+//! §3 are *subsets of the COI* discovered semantically via unsatisfiable
+//! cores; COI is the coarser, purely structural bound.)
+
+use std::collections::HashMap;
+
+use crate::{LatchInit, Netlist, Node, NodeId, Signal};
+
+/// Computes the set of node ids in the cone of influence of `seeds`.
+///
+/// The returned vector is sorted by node index and always contains the
+/// constant node.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_circuit::coi::cone_of_influence;
+/// use rbmc_circuit::{LatchInit, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.add_latch("a", LatchInit::Zero);
+/// let b = n.add_latch("b", LatchInit::Zero); // irrelevant to `a`
+/// n.set_next(a, !a);
+/// n.set_next(b, !b);
+/// let cone = cone_of_influence(&n, &[a]);
+/// assert!(cone.contains(&a.node()));
+/// assert!(!cone.contains(&b.node()));
+/// ```
+pub fn cone_of_influence(netlist: &Netlist, seeds: &[Signal]) -> Vec<NodeId> {
+    let mut in_cone = vec![false; netlist.num_nodes()];
+    in_cone[NodeId::CONST.index()] = true;
+    let mut stack: Vec<NodeId> = seeds.iter().map(|s| s.node()).collect();
+    while let Some(id) = stack.pop() {
+        if in_cone[id.index()] {
+            continue;
+        }
+        in_cone[id.index()] = true;
+        match netlist.node(id) {
+            Node::Gate { fanins, .. } => {
+                stack.extend(fanins.iter().map(|s| s.node()));
+            }
+            Node::Latch {
+                next: Some(next), ..
+            } => stack.push(next.node()),
+            _ => {}
+        }
+    }
+    (0..netlist.num_nodes())
+        .filter(|&i| in_cone[i])
+        .map(NodeId::new)
+        .collect()
+}
+
+/// The result of [`reduce_to_cone`]: the reduced netlist plus the signal
+/// mapping for the seeds.
+#[derive(Debug, Clone)]
+pub struct CoiReduction {
+    /// The reduced netlist (only nodes inside the cone).
+    pub netlist: Netlist,
+    /// For each seed passed to [`reduce_to_cone`], the corresponding signal
+    /// in the reduced netlist.
+    pub seed_signals: Vec<Signal>,
+}
+
+/// Builds a new netlist containing only the cone of influence of `seeds`.
+///
+/// Node names are preserved; outputs are re-declared for the seeds only
+/// (named `coi0`, `coi1`, … in seed order) on top of the mapping returned in
+/// [`CoiReduction::seed_signals`].
+///
+/// # Panics
+///
+/// Panics if the netlist fails [`Netlist::validate`] (unconnected latches).
+pub fn reduce_to_cone(netlist: &Netlist, seeds: &[Signal]) -> CoiReduction {
+    netlist.validate().expect("netlist must be well-formed");
+    let cone = cone_of_influence(netlist, seeds);
+    let mut reduced = Netlist::new();
+    let mut map: HashMap<NodeId, Signal> = HashMap::new();
+    map.insert(NodeId::CONST, Signal::FALSE);
+
+    // First pass: create inputs and latches (so cycles through latches work).
+    for &id in &cone {
+        match netlist.node(id) {
+            Node::Input => {
+                let name = netlist.name(id).unwrap_or("in");
+                map.insert(id, reduced.add_input(name));
+            }
+            Node::Latch { init, .. } => {
+                let name = netlist.name(id).unwrap_or("latch");
+                map.insert(id, reduced.add_latch(name, *init));
+            }
+            _ => {}
+        }
+    }
+    // Second pass: gates in topological order.
+    let translate = |map: &HashMap<NodeId, Signal>, s: Signal| -> Signal {
+        let base = map[&s.node()];
+        if s.is_inverted() {
+            !base
+        } else {
+            base
+        }
+    };
+    for id in netlist.topo_order() {
+        if !cone.binary_search(&id).is_ok() {
+            continue;
+        }
+        if let Node::Gate { op, fanins } = netlist.node(id) {
+            let new_fanins: Vec<Signal> = fanins.iter().map(|&s| translate(&map, s)).collect();
+            use crate::GateOp;
+            let new_sig = match op {
+                GateOp::And => reduced.and_many(&new_fanins),
+                GateOp::Or => reduced.or_many(&new_fanins),
+                GateOp::Xor => reduced.xor_many(&new_fanins),
+                GateOp::Mux => reduced.mux(new_fanins[0], new_fanins[1], new_fanins[2]),
+            };
+            map.insert(id, new_sig);
+        }
+    }
+    // Third pass: connect latches.
+    for &id in &cone {
+        if let Node::Latch {
+            next: Some(next), ..
+        } = netlist.node(id)
+        {
+            let latch_sig = map[&id];
+            reduced.set_next(latch_sig, translate(&map, *next));
+        }
+    }
+    let seed_signals: Vec<Signal> = seeds.iter().map(|&s| translate(&map, s)).collect();
+    for (i, &s) in seed_signals.iter().enumerate() {
+        reduced.add_output(&format!("coi{i}"), s);
+    }
+    CoiReduction {
+        netlist: reduced,
+        seed_signals,
+    }
+}
+
+/// Counts the registers inside the cone of influence of `seeds` (the paper
+/// plots circuits on a "register axis"; this is the model-size metric BMC
+/// reports).
+pub fn registers_in_cone(netlist: &Netlist, seeds: &[Signal]) -> usize {
+    cone_of_influence(netlist, seeds)
+        .iter()
+        .filter(|&&id| matches!(netlist.node(id), Node::Latch { .. }))
+        .count()
+}
+
+/// Convenience: latch initial value as a `bool` (Free defaults to 0).
+pub fn init_value(init: LatchInit) -> bool {
+    matches!(init, LatchInit::One)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// Two independent counters; a property about one should drop the other.
+    fn two_counters(width: usize) -> (Netlist, Vec<Signal>, Vec<Signal>) {
+        let mut n = Netlist::new();
+        let a: Vec<Signal> = (0..width)
+            .map(|i| n.add_latch(&format!("a{i}"), LatchInit::Zero))
+            .collect();
+        let b: Vec<Signal> = (0..width)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let an = n.bus_increment(&a);
+        let bn = n.bus_increment(&b);
+        for (&l, &nx) in a.iter().zip(&an) {
+            n.set_next(l, nx);
+        }
+        for (&l, &nx) in b.iter().zip(&bn) {
+            n.set_next(l, nx);
+        }
+        (n, a, b)
+    }
+
+    #[test]
+    fn cone_excludes_independent_logic() {
+        let (n, a, b) = two_counters(4);
+        let target = a[3];
+        let cone = cone_of_influence(&n, &[target]);
+        for &sig in &a {
+            assert!(cone.contains(&sig.node()), "own counter in cone");
+        }
+        for &sig in &b {
+            assert!(!cone.contains(&sig.node()), "other counter out of cone");
+        }
+    }
+
+    #[test]
+    fn register_count_in_cone() {
+        let (n, a, _) = two_counters(5);
+        assert_eq!(registers_in_cone(&n, &[a[4]]), 5);
+        assert_eq!(n.num_latches(), 10);
+    }
+
+    #[test]
+    fn reduction_preserves_behaviour() {
+        let (n, a, _) = two_counters(3);
+        // Seed: MSB of counter a.
+        let reduction = reduce_to_cone(&n, &[a[2]]);
+        let reduced = &reduction.netlist;
+        reduced.validate().unwrap();
+        assert_eq!(reduced.num_latches(), 3);
+        // Compare the seed signal over 20 steps.
+        let mut sim_full = Simulator::new(&n);
+        let mut sim_red = Simulator::new(reduced);
+        for step in 0..20 {
+            let full_vals = sim_full.frame_values(&[]);
+            let red_vals = sim_red.frame_values(&[]);
+            let full_bit = crate::sim::read_signal(&full_vals, a[2]);
+            let red_bit = crate::sim::read_signal(&red_vals, reduction.seed_signals[0]);
+            assert_eq!(full_bit, red_bit, "diverged at step {step}");
+            sim_full.step(&[]);
+            sim_red.step(&[]);
+        }
+    }
+
+    #[test]
+    fn constant_seed_reduces_to_trivial_netlist() {
+        let (n, _, _) = two_counters(2);
+        let reduction = reduce_to_cone(&n, &[Signal::TRUE]);
+        assert_eq!(reduction.seed_signals[0], Signal::TRUE);
+        assert_eq!(reduction.netlist.num_latches(), 0);
+    }
+}

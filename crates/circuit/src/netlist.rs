@@ -1,0 +1,775 @@
+//! The sequential gate-level netlist.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Not;
+
+/// Index of a node in a [`Netlist`].
+///
+/// Node 0 is always the constant-false node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false node present in every netlist.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Creates a node id from a dense index.
+    pub fn new(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// The dense 0-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive (non-inverted) signal of this node.
+    pub fn signal(self) -> Signal {
+        Signal(self.0 << 1)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A signal: a reference to a node, possibly inverted.
+///
+/// Signals are the wires of the netlist. Negation is free (an inversion bit,
+/// like an AIG edge), so there is no NOT gate.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_circuit::Signal;
+///
+/// let t = Signal::TRUE;
+/// assert_eq!(!t, Signal::FALSE);
+/// assert_eq!(t.node(), Signal::FALSE.node()); // both refer to the const node
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signal(u32);
+
+impl Signal {
+    /// The constant-false signal.
+    pub const FALSE: Signal = Signal(0);
+    /// The constant-true signal.
+    pub const TRUE: Signal = Signal(1);
+
+    /// Creates a signal referring to `node`, inverted if `inverted`.
+    pub fn new(node: NodeId, inverted: bool) -> Signal {
+        Signal(node.0 << 1 | inverted as u32)
+    }
+
+    /// The node this signal refers to.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the signal is inverted.
+    pub fn is_inverted(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if this signal is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.node() == NodeId::CONST
+    }
+
+    /// Applies the inversion bit to a node value.
+    pub fn apply(self, node_value: bool) -> bool {
+        node_value ^ self.is_inverted()
+    }
+
+    /// A dense code (`2·node + inverted`), usable as a table index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Signal {
+    type Output = Signal;
+
+    fn not(self) -> Signal {
+        Signal(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Signal {
+    fn from(node: NodeId) -> Signal {
+        node.signal()
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Signal::FALSE {
+            write!(f, "0")
+        } else if *self == Signal::TRUE {
+            write!(f, "1")
+        } else if self.is_inverted() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+/// Initial value of a latch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum LatchInit {
+    /// Starts at 0 (the common reset value).
+    #[default]
+    Zero,
+    /// Starts at 1.
+    One,
+    /// Unconstrained: BMC leaves the initial value free; the simulator
+    /// defaults it to 0.
+    Free,
+}
+
+/// Operator of a logic gate.
+///
+/// `And`, `Or`, and `Xor` are n-ary (at least one fanin); `Mux` has exactly
+/// three fanins `[sel, then, else]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateOp {
+    /// Conjunction of all fanins.
+    And,
+    /// Disjunction of all fanins.
+    Or,
+    /// Parity (odd number of true fanins).
+    Xor,
+    /// `if fanin0 then fanin1 else fanin2`.
+    Mux,
+}
+
+/// A node of the netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// The constant-false node (only node 0).
+    Const,
+    /// A primary input.
+    Input,
+    /// A register with an initial value and (once connected) a next-state
+    /// function.
+    Latch {
+        /// Reset value.
+        init: LatchInit,
+        /// Next-state signal; `None` until [`Netlist::set_next`] is called.
+        next: Option<Signal>,
+    },
+    /// A logic gate.
+    Gate {
+        /// The operator.
+        op: GateOp,
+        /// The operands.
+        fanins: Vec<Signal>,
+    },
+}
+
+/// Validation error for a [`Netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A latch was never connected to a next-state signal.
+    UnconnectedLatch(NodeId),
+    /// Combinational logic forms a cycle through the given node.
+    CombinationalCycle(NodeId),
+    /// A gate has the wrong number of fanins for its operator.
+    BadArity(NodeId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnconnectedLatch(n) => {
+                write!(f, "latch {n:?} has no next-state function")
+            }
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through {n:?}")
+            }
+            NetlistError::BadArity(n) => write!(f, "gate {n:?} has invalid fanin arity"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// A sequential gate-level netlist.
+///
+/// See the [crate docs](crate) for an example. Gate constructors perform
+/// light constant folding (`x ∧ 0 = 0`, `x ⊕ x = 0`, …), so generated
+/// circuits stay lean without a separate optimization pass.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    outputs: Vec<(String, Signal)>,
+}
+
+impl Netlist {
+    /// Creates a netlist containing only the constant node.
+    pub fn new() -> Netlist {
+        Netlist {
+            nodes: vec![Node::Const],
+            names: vec![Some("false".to_string())],
+            outputs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, node: Node, name: Option<String>) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(node);
+        self.names.push(name);
+        id
+    }
+
+    /// Adds a primary input and returns its signal.
+    pub fn add_input(&mut self, name: &str) -> Signal {
+        self.push(Node::Input, Some(name.to_string())).signal()
+    }
+
+    /// Adds a latch (register) with the given initial value; connect its
+    /// next-state function later with [`Netlist::set_next`].
+    pub fn add_latch(&mut self, name: &str, init: LatchInit) -> Signal {
+        self.push(Node::Latch { init, next: None }, Some(name.to_string()))
+            .signal()
+    }
+
+    /// Connects the next-state function of `latch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is inverted, does not refer to a latch, or was
+    /// already connected.
+    pub fn set_next(&mut self, latch: Signal, next: Signal) {
+        assert!(!latch.is_inverted(), "latch reference must be plain");
+        match &mut self.nodes[latch.node().index()] {
+            Node::Latch { next: slot, .. } => {
+                assert!(slot.is_none(), "latch already connected");
+                *slot = Some(next);
+            }
+            other => panic!("set_next on non-latch node {other:?}"),
+        }
+    }
+
+    /// Declares a named primary output.
+    pub fn add_output(&mut self, name: &str, signal: Signal) {
+        self.outputs.push((name.to_string(), signal));
+    }
+
+    // ----- gate constructors (with light folding) --------------------------
+
+    fn gate(&mut self, op: GateOp, fanins: Vec<Signal>) -> Signal {
+        self.push(Node::Gate { op, fanins }, None).signal()
+    }
+
+    /// Binary AND.
+    pub fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        if a == Signal::FALSE || b == Signal::FALSE || a == !b {
+            return Signal::FALSE;
+        }
+        if a == Signal::TRUE || a == b {
+            return b;
+        }
+        if b == Signal::TRUE {
+            return a;
+        }
+        self.gate(GateOp::And, vec![a, b])
+    }
+
+    /// Binary OR.
+    pub fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        !self.and2(!a, !b)
+    }
+
+    /// Binary XOR.
+    pub fn xor2(&mut self, a: Signal, b: Signal) -> Signal {
+        if a == Signal::FALSE {
+            return b;
+        }
+        if b == Signal::FALSE {
+            return a;
+        }
+        if a == Signal::TRUE {
+            return !b;
+        }
+        if b == Signal::TRUE {
+            return !a;
+        }
+        if a == b {
+            return Signal::FALSE;
+        }
+        if a == !b {
+            return Signal::TRUE;
+        }
+        self.gate(GateOp::Xor, vec![a, b])
+    }
+
+    /// Exclusive-nor (equality).
+    pub fn xnor2(&mut self, a: Signal, b: Signal) -> Signal {
+        !self.xor2(a, b)
+    }
+
+    /// `if sel then a else b`.
+    pub fn mux(&mut self, sel: Signal, a: Signal, b: Signal) -> Signal {
+        if sel == Signal::TRUE || a == b {
+            return a;
+        }
+        if sel == Signal::FALSE {
+            return b;
+        }
+        self.gate(GateOp::Mux, vec![sel, a, b])
+    }
+
+    /// `a → b` (implication).
+    pub fn implies(&mut self, a: Signal, b: Signal) -> Signal {
+        !self.and2(a, !b)
+    }
+
+    /// N-ary AND (`AND()` of an empty list is true).
+    pub fn and_many(&mut self, signals: &[Signal]) -> Signal {
+        let mut fanins: Vec<Signal> = Vec::with_capacity(signals.len());
+        for &s in signals {
+            if s == Signal::FALSE {
+                return Signal::FALSE;
+            }
+            if s == Signal::TRUE || fanins.contains(&s) {
+                continue;
+            }
+            if fanins.contains(&!s) {
+                return Signal::FALSE;
+            }
+            fanins.push(s);
+        }
+        match fanins.len() {
+            0 => Signal::TRUE,
+            1 => fanins[0],
+            _ => self.gate(GateOp::And, fanins),
+        }
+    }
+
+    /// N-ary OR (`OR()` of an empty list is false).
+    pub fn or_many(&mut self, signals: &[Signal]) -> Signal {
+        let negated: Vec<Signal> = signals.iter().map(|&s| !s).collect();
+        !self.and_many(&negated)
+    }
+
+    /// N-ary XOR (parity; empty list is false).
+    pub fn xor_many(&mut self, signals: &[Signal]) -> Signal {
+        let mut acc = Signal::FALSE;
+        for &s in signals {
+            acc = self.xor2(acc, s);
+        }
+        acc
+    }
+
+    /// Equality of two equally wide buses: `⋀ (aᵢ ↔ bᵢ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width.
+    pub fn bus_eq(&mut self, a: &[Signal], b: &[Signal]) -> Signal {
+        assert_eq!(a.len(), b.len(), "bus widths differ");
+        let bits: Vec<Signal> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.xnor2(x, y))
+            .collect();
+        self.and_many(&bits)
+    }
+
+    /// Compares a bus (LSB first) against a constant. A value that does not
+    /// fit in the bus width yields [`Signal::FALSE`] (the comparison can
+    /// never hold).
+    pub fn bus_eq_const(&mut self, bus: &[Signal], value: u64) -> Signal {
+        if bus.len() < 64 && value >> bus.len() != 0 {
+            return Signal::FALSE;
+        }
+        let bits: Vec<Signal> = bus
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| if value >> i & 1 == 1 { s } else { !s })
+            .collect();
+        self.and_many(&bits)
+    }
+
+    /// Ripple-carry incrementer: returns `bus + 1` (LSB first), dropping the
+    /// final carry (wrap-around).
+    pub fn bus_increment(&mut self, bus: &[Signal]) -> Vec<Signal> {
+        let mut carry = Signal::TRUE;
+        let mut out = Vec::with_capacity(bus.len());
+        for &b in bus {
+            out.push(self.xor2(b, carry));
+            carry = self.and2(b, carry);
+        }
+        out
+    }
+
+    /// Ripple-carry adder: returns `a + b` (LSB first, wrap-around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buses differ in width.
+    pub fn bus_add(&mut self, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
+        assert_eq!(a.len(), b.len(), "bus widths differ");
+        let mut carry = Signal::FALSE;
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor2(x, y);
+            out.push(self.xor2(xy, carry));
+            let c1 = self.and2(x, y);
+            let c2 = self.and2(xy, carry);
+            carry = self.or2(c1, c2);
+        }
+        out
+    }
+
+    // ----- accessors --------------------------------------------------------
+
+    /// Number of nodes (including the constant node).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The declared name of a node, if any.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.names[id.index()].as_deref()
+    }
+
+    /// The named outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// Looks up an output by name.
+    pub fn output(&self, name: &str) -> Option<Signal> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// The ids of all primary inputs, in creation order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| matches!(self.node(id), Node::Input))
+            .collect()
+    }
+
+    /// The ids of all latches, in creation order.
+    pub fn latches(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| matches!(self.node(id), Node::Latch { .. }))
+            .collect()
+    }
+
+    /// Number of latches (the model's registers).
+    pub fn num_latches(&self) -> usize {
+        self.latches().len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs().len()
+    }
+
+    /// Checks well-formedness: every latch connected, gate arities valid, and
+    /// no combinational cycles (paths through gates only; latches break
+    /// cycles by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for id in self.node_ids() {
+            match self.node(id) {
+                Node::Latch { next: None, .. } => {
+                    return Err(NetlistError::UnconnectedLatch(id));
+                }
+                Node::Gate { op, fanins } => {
+                    let ok = match op {
+                        GateOp::And | GateOp::Or | GateOp::Xor => !fanins.is_empty(),
+                        GateOp::Mux => fanins.len() == 3,
+                    };
+                    if !ok {
+                        return Err(NetlistError::BadArity(id));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Cycle check over combinational edges (gate -> fanin).
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.nodes.len()];
+        for start in self.node_ids() {
+            if color[start.index()] != WHITE {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, fanin position).
+            let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            color[start.index()] = GRAY;
+            while let Some(&mut (id, ref mut pos)) = stack.last_mut() {
+                let fanins: &[Signal] = match self.node(id) {
+                    Node::Gate { fanins, .. } => fanins,
+                    _ => &[],
+                };
+                if *pos < fanins.len() {
+                    let child = fanins[*pos].node();
+                    *pos += 1;
+                    match color[child.index()] {
+                        WHITE => {
+                            // Only gates propagate combinational paths.
+                            if matches!(self.node(child), Node::Gate { .. }) {
+                                color[child.index()] = GRAY;
+                                stack.push((child, 0));
+                            } else {
+                                color[child.index()] = BLACK;
+                            }
+                        }
+                        GRAY => return Err(NetlistError::CombinationalCycle(child)),
+                        _ => {}
+                    }
+                } else {
+                    color[id.index()] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the nodes in a topological order of the combinational logic:
+    /// every gate appears after all of its fanins. Inputs, latches, and the
+    /// constant come first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has combinational cycles (call
+    /// [`Netlist::validate`] first).
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut state = vec![0u8; self.nodes.len()]; // 0 new, 1 open, 2 done
+        for start in self.node_ids() {
+            if state[start.index()] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            state[start.index()] = 1;
+            while let Some(&mut (id, ref mut pos)) = stack.last_mut() {
+                let fanins: &[Signal] = match self.node(id) {
+                    Node::Gate { fanins, .. } => fanins,
+                    _ => &[],
+                };
+                if *pos < fanins.len() {
+                    let child = fanins[*pos].node();
+                    *pos += 1;
+                    if state[child.index()] == 0 {
+                        if matches!(self.node(child), Node::Gate { .. }) {
+                            state[child.index()] = 1;
+                            stack.push((child, 0));
+                        } else {
+                            state[child.index()] = 2;
+                            order.push(child);
+                        }
+                    } else {
+                        assert_ne!(state[child.index()], 1, "combinational cycle");
+                    }
+                } else {
+                    state[id.index()] = 2;
+                    order.push(id);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Signal::TRUE, !Signal::FALSE);
+        assert!(Signal::TRUE.is_const());
+        assert_eq!(Signal::TRUE.node(), NodeId::CONST);
+    }
+
+    #[test]
+    fn building_a_counter_validates() {
+        let mut n = Netlist::new();
+        let b0 = n.add_latch("b0", LatchInit::Zero);
+        let b1 = n.add_latch("b1", LatchInit::Zero);
+        n.set_next(b0, !b0);
+        let s = n.xor2(b1, b0);
+        n.set_next(b1, s);
+        assert_eq!(n.num_latches(), 2);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn unconnected_latch_rejected() {
+        let mut n = Netlist::new();
+        let l = n.add_latch("l", LatchInit::Zero);
+        assert_eq!(
+            n.validate(),
+            Err(NetlistError::UnconnectedLatch(l.node()))
+        );
+    }
+
+    #[test]
+    fn and_folding() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        assert_eq!(n.and2(a, Signal::FALSE), Signal::FALSE);
+        assert_eq!(n.and2(Signal::TRUE, a), a);
+        assert_eq!(n.and2(a, a), a);
+        assert_eq!(n.and2(a, !a), Signal::FALSE);
+        let b = n.add_input("b");
+        let g = n.and2(a, b);
+        assert!(matches!(n.node(g.node()), Node::Gate { op: GateOp::And, .. }));
+    }
+
+    #[test]
+    fn xor_folding() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        assert_eq!(n.xor2(a, Signal::FALSE), a);
+        assert_eq!(n.xor2(a, Signal::TRUE), !a);
+        assert_eq!(n.xor2(a, a), Signal::FALSE);
+        assert_eq!(n.xor2(a, !a), Signal::TRUE);
+    }
+
+    #[test]
+    fn mux_folding() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = n.add_input("s");
+        assert_eq!(n.mux(Signal::TRUE, a, b), a);
+        assert_eq!(n.mux(Signal::FALSE, a, b), b);
+        assert_eq!(n.mux(s, a, a), a);
+        let g = n.mux(s, a, b);
+        assert!(matches!(n.node(g.node()), Node::Gate { op: GateOp::Mux, .. }));
+    }
+
+    #[test]
+    fn and_many_edge_cases() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        assert_eq!(n.and_many(&[]), Signal::TRUE);
+        assert_eq!(n.and_many(&[a]), a);
+        assert_eq!(n.and_many(&[a, Signal::TRUE, a]), a);
+        assert_eq!(n.and_many(&[a, !a, b]), Signal::FALSE);
+    }
+
+    #[test]
+    fn or_many_dual() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        assert_eq!(n.or_many(&[]), Signal::FALSE);
+        assert_eq!(n.or_many(&[a, Signal::FALSE]), a);
+        assert_eq!(n.or_many(&[a, Signal::TRUE]), Signal::TRUE);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        // Build a gate, then force a self-referential fanin by hand.
+        let g = n.and2(a, a.node().signal()); // folded: a == a -> a
+        assert_eq!(g, a);
+        // Construct an actual cycle: g1 = AND(a, g2), g2 = AND(a, g1).
+        let g1 = n.gate(GateOp::And, vec![a, Signal::FALSE]); // placeholder fanin
+        let g2 = n.gate(GateOp::And, vec![a, g1]);
+        if let Node::Gate { fanins, .. } = &mut n.nodes[g1.node().index()] {
+            fanins[1] = g2;
+        }
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_fanins() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.and2(a, b);
+        let g2 = n.xor2(g1, a);
+        let order = n.topo_order();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a.node()) < pos(g1.node()));
+        assert!(pos(b.node()) < pos(g1.node()));
+        assert!(pos(g1.node()) < pos(g2.node()));
+        assert_eq!(order.len(), n.num_nodes());
+    }
+
+    #[test]
+    fn bus_increment_semantics() {
+        let mut n = Netlist::new();
+        // Constant bus 0b011 (LSB first: [1,1,0]).
+        let bus = [Signal::TRUE, Signal::TRUE, Signal::FALSE];
+        let inc = n.bus_increment(&bus);
+        // 3 + 1 = 4 = 0b100 (LSB first: [0,0,1]) — fully folded to constants.
+        assert_eq!(inc, vec![Signal::FALSE, Signal::FALSE, Signal::TRUE]);
+    }
+
+    #[test]
+    fn bus_eq_const_on_constants() {
+        let mut n = Netlist::new();
+        let bus = [Signal::TRUE, Signal::FALSE, Signal::TRUE]; // 0b101 = 5
+        assert_eq!(n.bus_eq_const(&bus, 5), Signal::TRUE);
+        assert_eq!(n.bus_eq_const(&bus, 4), Signal::FALSE);
+    }
+
+    #[test]
+    fn outputs_lookup() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        n.add_output("out", !a);
+        assert_eq!(n.output("out"), Some(!a));
+        assert_eq!(n.output("missing"), None);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-latch")]
+    fn set_next_on_input_panics() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        n.set_next(a, Signal::TRUE);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_panics() {
+        let mut n = Netlist::new();
+        let l = n.add_latch("l", LatchInit::Zero);
+        n.set_next(l, Signal::TRUE);
+        n.set_next(l, Signal::FALSE);
+    }
+}

@@ -1,0 +1,307 @@
+//! Whole CNF formulas.
+
+use std::fmt;
+
+use crate::{Clause, Var};
+
+#[cfg(test)]
+use crate::Lit;
+
+/// A CNF formula: a conjunction of [`Clause`]s over a dense variable range.
+///
+/// The formula tracks how many variables exist; [`CnfFormula::add_clause`]
+/// automatically grows the range to cover the literals it sees, and
+/// [`CnfFormula::new_var`] reserves a fresh variable explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::CnfFormula;
+///
+/// let mut f = CnfFormula::new();
+/// let a = f.new_var();
+/// let b = f.new_var();
+/// f.add_clause([a.positive(), b.positive()]);
+/// f.add_clause([a.negative()]);
+/// assert_eq!(f.num_vars(), 2);
+/// assert_eq!(f.num_clauses(), 2);
+/// assert_eq!(f.num_literals(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    num_literals: usize,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula with no variables and no clauses.
+    ///
+    /// An empty conjunction is trivially satisfiable.
+    pub fn new() -> CnfFormula {
+        CnfFormula::default()
+    }
+
+    /// Creates an empty formula that already has `num_vars` variables.
+    pub fn with_vars(num_vars: usize) -> CnfFormula {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+            num_literals: 0,
+        }
+    }
+
+    /// Reserves and returns a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::new(self.num_vars);
+        self.num_vars += 1;
+        var
+    }
+
+    /// Returns the number of variables (the valid indices are `0..num_vars`).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Returns the number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns the total number of literal occurrences over all clauses.
+    ///
+    /// This is the paper's "number of original literals": the dynamic
+    /// configuration of §3.3 switches back to VSIDS once the number of
+    /// decisions exceeds `num_literals / 64`.
+    pub fn num_literals(&self) -> usize {
+        self.num_literals
+    }
+
+    /// Appends a clause, growing the variable range to cover its literals.
+    ///
+    /// The clause is stored as given (no normalization); an empty clause makes
+    /// the formula trivially unsatisfiable.
+    pub fn add_clause<C: Into<Clause>>(&mut self, clause: C) {
+        let clause = clause.into();
+        for lit in clause.lits() {
+            self.num_vars = self.num_vars.max(lit.var().index() + 1);
+        }
+        self.num_literals += clause.len();
+        self.clauses.push(clause);
+    }
+
+    /// Returns the clause at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_clauses()`.
+    pub fn clause(&self, index: usize) -> &Clause {
+        &self.clauses[index]
+    }
+
+    /// Iterates over the clauses in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+
+    /// Returns the clauses as a slice.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a total assignment (`assignment[v]` is the
+    /// value of variable `v`).
+    ///
+    /// Returns `None` if `assignment` is shorter than [`Self::num_vars`] or
+    /// mentions none for a used variable.
+    pub fn evaluate(&self, assignment: &[bool]) -> Option<bool> {
+        let mut value = true;
+        for clause in &self.clauses {
+            value &= clause.evaluate(assignment)?;
+        }
+        Some(value)
+    }
+
+    /// Evaluates the formula under a partial assignment.
+    ///
+    /// Returns `Some(false)` if some clause is falsified, `Some(true)` if all
+    /// clauses are satisfied, and `None` otherwise.
+    pub fn evaluate_partial(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        let mut all_true = true;
+        for clause in &self.clauses {
+            match clause.evaluate_partial(assignment) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the sub-formula formed by the clauses at the given indices,
+    /// over the same variable range.
+    ///
+    /// This is how an unsatisfiable core (a set of original clause indices
+    /// reported by the solver) is turned back into a formula, e.g. to re-check
+    /// that the core alone is unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subformula(&self, clause_indices: &[usize]) -> CnfFormula {
+        let mut sub = CnfFormula::with_vars(self.num_vars);
+        for &i in clause_indices {
+            sub.add_clause(self.clauses[i].clone());
+        }
+        sub
+    }
+
+    /// Iterates over every distinct variable mentioned in some clause.
+    pub fn used_vars(&self) -> Vec<Var> {
+        let mut seen = vec![false; self.num_vars];
+        for clause in &self.clauses {
+            for lit in clause.lits() {
+                seen[lit.var().index()] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| Var::new(i))
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a CnfFormula {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for clause in iter {
+            self.add_clause(clause);
+        }
+    }
+}
+
+impl FromIterator<Clause> for CnfFormula {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> CnfFormula {
+        let mut f = CnfFormula::new();
+        f.extend(iter);
+        f
+    }
+}
+
+impl fmt::Debug for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CnfFormula")
+            .field("num_vars", &self.num_vars)
+            .field("clauses", &self.clauses)
+            .finish()
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{clause}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(ns: &[i64]) -> Clause {
+        ns.iter().map(|&n| Lit::from_dimacs(n)).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_true() {
+        let f = CnfFormula::new();
+        assert_eq!(f.evaluate(&[]), Some(true));
+        assert_eq!(f.to_string(), "⊤");
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut f = CnfFormula::new();
+        f.add_clause(clause(&[5]));
+        assert_eq!(f.num_vars(), 5);
+        f.add_clause(clause(&[-2]));
+        assert_eq!(f.num_vars(), 5);
+    }
+
+    #[test]
+    fn literal_count_accumulates() {
+        let mut f = CnfFormula::new();
+        f.add_clause(clause(&[1, 2, 3]));
+        f.add_clause(clause(&[-1, -2]));
+        assert_eq!(f.num_literals(), 5);
+    }
+
+    #[test]
+    fn evaluation_conjunction() {
+        let mut f = CnfFormula::new();
+        f.add_clause(clause(&[1, 2]));
+        f.add_clause(clause(&[-1, 2]));
+        assert_eq!(f.evaluate(&[true, true]), Some(true));
+        assert_eq!(f.evaluate(&[true, false]), Some(false));
+        assert_eq!(f.evaluate(&[false, false]), Some(false));
+    }
+
+    #[test]
+    fn partial_evaluation_three_valued() {
+        let mut f = CnfFormula::new();
+        f.add_clause(clause(&[1, 2]));
+        f.add_clause(clause(&[-1]));
+        assert_eq!(f.evaluate_partial(&[Some(true), None]), Some(false));
+        assert_eq!(f.evaluate_partial(&[Some(false), None]), None);
+        assert_eq!(f.evaluate_partial(&[Some(false), Some(true)]), Some(true));
+    }
+
+    #[test]
+    fn subformula_selects_clauses() {
+        let mut f = CnfFormula::new();
+        f.add_clause(clause(&[1]));
+        f.add_clause(clause(&[2]));
+        f.add_clause(clause(&[3]));
+        let sub = f.subformula(&[0, 2]);
+        assert_eq!(sub.num_clauses(), 2);
+        assert_eq!(sub.num_vars(), f.num_vars());
+        assert_eq!(sub.clause(0), f.clause(0));
+        assert_eq!(sub.clause(1), f.clause(2));
+    }
+
+    #[test]
+    fn used_vars_skips_unused() {
+        let mut f = CnfFormula::with_vars(4);
+        f.add_clause(clause(&[1, 3]));
+        let used = f.used_vars();
+        assert_eq!(used, vec![Var::new(0), Var::new(2)]);
+    }
+
+    #[test]
+    fn collect_from_clauses() {
+        let f: CnfFormula = vec![clause(&[1]), clause(&[-1, 2])].into_iter().collect();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.num_vars(), 2);
+    }
+}

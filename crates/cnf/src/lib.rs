@@ -1,0 +1,38 @@
+//! CNF substrate for the `refined-bmc` workspace.
+//!
+//! This crate provides the propositional-logic vocabulary shared by the SAT
+//! solver (`rbmc-solver`) and the BMC engine (`rbmc-core`): typed
+//! [`Var`]iables and [`Lit`]erals, [`Clause`]s, whole [`CnfFormula`]s, and
+//! DIMACS reading/writing.
+//!
+//! # Examples
+//!
+//! Build the formula `(x ∨ ¬y) ∧ (y)` and evaluate it:
+//!
+//! ```
+//! use rbmc_cnf::CnfFormula;
+//!
+//! let mut f = CnfFormula::new();
+//! let x = f.new_var();
+//! let y = f.new_var();
+//! f.add_clause([x.positive(), y.negative()]);
+//! f.add_clause([y.positive()]);
+//!
+//! // x = true, y = true satisfies both clauses.
+//! assert_eq!(f.evaluate(&[true, true]), Some(true));
+//! // x = false, y = false falsifies the second clause.
+//! assert_eq!(f.evaluate(&[false, false]), Some(false));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clause;
+mod dimacs;
+mod formula;
+mod lit;
+
+pub use clause::Clause;
+pub use dimacs::{parse_dimacs, to_dimacs_string, write_dimacs, ParseDimacsError};
+pub use formula::CnfFormula;
+pub use lit::{Lit, Var};

@@ -1,0 +1,298 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, identified by a dense 0-based index.
+///
+/// Variables are plain indices; the containing [`CnfFormula`](crate::CnfFormula)
+/// or solver decides how many exist. The dense representation lets solvers use
+/// variables directly as array indices.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::Var;
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.positive().var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// The maximum supported variable index.
+    pub const MAX_INDEX: usize = (u32::MAX >> 1) as usize - 1;
+
+    /// Creates the variable with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`Var::MAX_INDEX`].
+    #[inline]
+    pub fn new(index: usize) -> Var {
+        assert!(index <= Var::MAX_INDEX, "variable index {index} too large");
+        Var(index as u32)
+    }
+
+    /// Returns the dense 0-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive-phase literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Returns the negative-phase literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the literal of this variable whose phase makes it true under
+    /// `value`: positive when `value` is true, negative otherwise.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rbmc_cnf::Var;
+    ///
+    /// let v = Var::new(0);
+    /// assert_eq!(v.lit(true), v.positive());
+    /// assert_eq!(v.lit(false), v.negative());
+    /// ```
+    #[inline]
+    pub fn lit(self, value: bool) -> Lit {
+        Lit::new(self, !value)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a phase (positive or negated).
+///
+/// Encoded as `var_index << 1 | negated` so that the two phases of a variable
+/// occupy adjacent codes; [`Lit::code`] is therefore a dense index usable for
+/// per-literal tables (watch lists, scores).
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::{Lit, Var};
+///
+/// let x = Var::new(7);
+/// let l = x.negative();
+/// assert!(l.is_negative());
+/// assert_eq!(!l, x.positive());
+/// assert_eq!(Lit::from_code(l.code()), l);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a phase flag (`negated = true`
+    /// gives the negative literal).
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns true if this is the negated phase of its variable.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns true if this is the positive phase of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// Returns the dense code of this literal (`2 * var ± 1` style packing).
+    ///
+    /// Codes enumerate literals without gaps: variable `v` owns codes `2v`
+    /// (positive) and `2v + 1` (negative).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from the dense code produced by [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        assert!(code <= u32::MAX as usize, "literal code {code} too large");
+        Lit(code as u32)
+    }
+
+    /// Parses a non-zero DIMACS integer: `n > 0` is the positive literal of
+    /// variable `n - 1`, `n < 0` the negative literal of variable `-n - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (DIMACS uses 0 as the clause terminator, it does not
+    /// name a literal).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rbmc_cnf::{Lit, Var};
+    ///
+    /// assert_eq!(Lit::from_dimacs(3), Var::new(2).positive());
+    /// assert_eq!(Lit::from_dimacs(-1), Var::new(0).negative());
+    /// ```
+    #[inline]
+    pub fn from_dimacs(n: i64) -> Lit {
+        assert!(n != 0, "0 is not a DIMACS literal");
+        let var = Var::new(n.unsigned_abs() as usize - 1);
+        Lit::new(var, n < 0)
+    }
+
+    /// Returns the DIMACS integer representation (`±(index + 1)`).
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let n = self.var().index() as i64 + 1;
+        if self.is_negative() {
+            -n
+        } else {
+            n
+        }
+    }
+
+    /// Evaluates the literal under a value for its variable.
+    #[inline]
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value ^ self.is_negative()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({})", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var().index())
+        } else {
+            write!(f, "x{}", self.var().index())
+        }
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(var: Var) -> Lit {
+        var.positive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        for i in [0usize, 1, 17, 100_000] {
+            assert_eq!(Var::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn lit_phases() {
+        let v = Var::new(5);
+        assert!(v.positive().is_positive());
+        assert!(v.negative().is_negative());
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Var::new(9).negative();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn code_is_dense() {
+        let v = Var::new(3);
+        assert_eq!(v.positive().code(), 6);
+        assert_eq!(v.negative().code(), 7);
+        assert_eq!(Lit::from_code(6), v.positive());
+        assert_eq!(Lit::from_code(7), v.negative());
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for n in [1i64, -1, 2, -2, 17, -123_456] {
+            assert_eq!(Lit::from_dimacs(n).to_dimacs(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DIMACS literal")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn apply_respects_phase() {
+        let v = Var::new(0);
+        assert!(v.positive().apply(true));
+        assert!(!v.positive().apply(false));
+        assert!(!v.negative().apply(true));
+        assert!(v.negative().apply(false));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(2);
+        assert_eq!(v.to_string(), "x2");
+        assert_eq!(v.positive().to_string(), "x2");
+        assert_eq!(v.negative().to_string(), "¬x2");
+    }
+
+    #[test]
+    fn ordering_groups_phases_of_same_var() {
+        let a = Var::new(1);
+        let b = Var::new(2);
+        assert!(a.positive() < a.negative());
+        assert!(a.negative() < b.positive());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the CNF substrate.
+
+use proptest::prelude::*;
+use rbmc_cnf::{parse_dimacs, to_dimacs_string, Clause, CnfFormula, Lit, Var};
+
+/// Strategy producing an arbitrary literal over `num_vars` variables.
+fn arb_lit(num_vars: usize) -> impl Strategy<Value = Lit> {
+    (0..num_vars, any::<bool>()).prop_map(|(v, neg)| Lit::new(Var::new(v), neg))
+}
+
+/// Strategy producing an arbitrary clause of up to `max_len` literals.
+fn arb_clause(num_vars: usize, max_len: usize) -> impl Strategy<Value = Clause> {
+    prop::collection::vec(arb_lit(num_vars), 0..=max_len).prop_map(Clause::new)
+}
+
+/// Strategy producing an arbitrary formula.
+fn arb_formula() -> impl Strategy<Value = CnfFormula> {
+    (1usize..20).prop_flat_map(|nv| {
+        prop::collection::vec(arb_clause(nv, 6), 0..30)
+            .prop_map(move |clauses| {
+                let mut f = CnfFormula::with_vars(nv);
+                f.extend(clauses);
+                f
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn lit_code_roundtrip(v in 0usize..100_000, neg in any::<bool>()) {
+        let lit = Lit::new(Var::new(v), neg);
+        prop_assert_eq!(Lit::from_code(lit.code()), lit);
+        prop_assert_eq!(Lit::from_dimacs(lit.to_dimacs()), lit);
+        prop_assert_eq!(!!lit, lit);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_preserves_formula(f in arb_formula()) {
+        let text = to_dimacs_string(&f);
+        let back = parse_dimacs(&text).unwrap();
+        prop_assert_eq!(&f, &back);
+    }
+
+    #[test]
+    fn normalized_clause_is_equisatisfiable(c in arb_clause(8, 6), bits in any::<u8>()) {
+        // Evaluate the clause and its normal form under the same assignment:
+        // they must agree (a tautology is always true).
+        let assignment: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+        let original = c.evaluate(&assignment).unwrap();
+        match c.normalized() {
+            None => prop_assert!(original, "tautology must evaluate to true"),
+            Some(n) => prop_assert_eq!(n.evaluate(&assignment).unwrap(), original),
+        }
+    }
+
+    #[test]
+    fn partial_agrees_with_total(c in arb_clause(8, 6), bits in any::<u8>()) {
+        let total: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+        let partial: Vec<Option<bool>> = total.iter().copied().map(Some).collect();
+        prop_assert_eq!(c.evaluate_partial(&partial), c.evaluate(&total));
+    }
+
+    #[test]
+    fn formula_eval_is_clause_conjunction(f in arb_formula(), bits in any::<u32>()) {
+        let assignment: Vec<bool> = (0..f.num_vars()).map(|i| bits >> (i % 32) & 1 == 1).collect();
+        let whole = f.evaluate(&assignment).unwrap();
+        let each = f.iter().all(|c| c.evaluate(&assignment).unwrap());
+        prop_assert_eq!(whole, each);
+    }
+
+    #[test]
+    fn subformula_of_all_indices_is_identity(f in arb_formula()) {
+        let all: Vec<usize> = (0..f.num_clauses()).collect();
+        let sub = f.subformula(&all);
+        prop_assert_eq!(f.clauses(), sub.clauses());
+        prop_assert_eq!(f.num_vars(), sub.num_vars());
+    }
+}

@@ -1,0 +1,518 @@
+//! `refine_order_bmc` — the main loop of the paper's Fig. 5.
+//!
+//! ```text
+//! refine_order_bmc(M, P) {
+//!     initialize varRank;
+//!     for each k {
+//!         F = gen_cnf_formula(M, P, k);
+//!         (isSat, unsatVars) = sat_check(F, varRank);
+//!         if (isSat) return FALSE;              // counterexample found
+//!         else update_ranking(unsatVars, varRank);
+//!     }
+//!     return TRUE;                              // bound reached
+//! }
+//! ```
+//!
+//! Each depth gets a fresh solver (the paper's method is orthogonal to
+//! incremental SAT); correlation flows between instances exclusively through
+//! `varRank` over the frame-stable variables.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rbmc_solver::{Limits, OrderMode, SolveResult, Solver, SolverOptions};
+
+use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, Weighting};
+
+/// Which decision-ordering scheme `sat_check` uses (§3.3 plus baselines).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum OrderingStrategy {
+    /// Plain Chaff: pure VSIDS, no core bookkeeping. The paper's baseline
+    /// ("BMC" column of Table 1).
+    #[default]
+    Standard,
+    /// Refined ordering, static configuration: `bmc_score` primary for the
+    /// whole solve ("new bmc, sta." column).
+    RefinedStatic,
+    /// Refined ordering, dynamic configuration: falls back to VSIDS once
+    /// `#decisions > #original_literals / divisor` ("new bmc, dyn." column;
+    /// the paper uses 64).
+    RefinedDynamic {
+        /// Denominator of the switch threshold.
+        divisor: u32,
+    },
+    /// Shtrichman's time-axis static ordering (related work; for the
+    /// register-axis vs time-axis ablation).
+    Shtrichman,
+}
+
+impl OrderingStrategy {
+    /// Whether this strategy needs unsat cores (and hence CDG recording).
+    pub fn needs_cores(self) -> bool {
+        matches!(
+            self,
+            OrderingStrategy::RefinedStatic | OrderingStrategy::RefinedDynamic { .. }
+        )
+    }
+
+    /// Short name used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrderingStrategy::Standard => "bmc",
+            OrderingStrategy::RefinedStatic => "sta",
+            OrderingStrategy::RefinedDynamic { .. } => "dyn",
+            OrderingStrategy::Shtrichman => "sht",
+        }
+    }
+}
+
+/// Configuration of a [`BmcEngine`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct BmcOptions {
+    /// Highest unrolling depth to try (the completeness-threshold stand-in).
+    pub max_depth: usize,
+    /// Decision-ordering scheme.
+    pub strategy: OrderingStrategy,
+    /// How past cores are weighted (§3.2; ablation knob).
+    pub weighting: Weighting,
+    /// Base solver configuration. `order_mode` and `record_cdg` are
+    /// overridden per [`BmcOptions::strategy`]; the rest (restarts, clause
+    /// deletion, halving interval) applies as given.
+    pub solver: SolverOptions,
+    /// Optional conflict budget per depth (deterministic timeout stand-in).
+    pub max_conflicts_per_depth: Option<u64>,
+    /// Optional wall-clock deadline for the whole run.
+    pub deadline: Option<Instant>,
+    /// Also record cores under [`OrderingStrategy::Standard`] (for the CDG
+    /// overhead measurements of §3.1; off by default to keep the baseline
+    /// honest).
+    pub force_record_cdg: bool,
+}
+
+impl Default for BmcOptions {
+    fn default() -> BmcOptions {
+        BmcOptions {
+            max_depth: 20,
+            strategy: OrderingStrategy::Standard,
+            weighting: Weighting::Linear,
+            solver: SolverOptions::default(),
+            max_conflicts_per_depth: None,
+            deadline: None,
+            force_record_cdg: false,
+        }
+    }
+}
+
+/// Statistics of one depth's `sat_check` (the per-`k` data behind Fig. 7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepthStats {
+    /// The unrolling depth `k`.
+    pub depth: usize,
+    /// Verdict at this depth.
+    pub result: SolveResult,
+    /// Number of decisions (Fig. 7 left).
+    pub decisions: u64,
+    /// Number of implications/propagations (Fig. 7 right).
+    pub implications: u64,
+    /// Number of conflicts.
+    pub conflicts: u64,
+    /// CNF size: variables.
+    pub num_vars: usize,
+    /// CNF size: clauses.
+    pub num_clauses: usize,
+    /// Variables in this depth's unsatisfiable core (0 if SAT or untracked).
+    pub core_vars: usize,
+    /// Whether the dynamic configuration fell back to VSIDS at this depth.
+    pub switched_to_vsids: bool,
+    /// Nodes recorded in the simplified CDG (0 when recording is off).
+    pub cdg_nodes: u64,
+    /// Antecedent edges recorded in the simplified CDG.
+    pub cdg_edges: u64,
+    /// Wall-clock time of this depth's solve.
+    pub time: Duration,
+}
+
+/// The outcome of a BMC run.
+#[derive(Clone, Debug)]
+pub enum BmcOutcome {
+    /// The property fails: a validated counterexample of length `depth`.
+    Counterexample {
+        /// Length of the counterexample (bad state at this frame).
+        depth: usize,
+        /// The counterexample itself.
+        trace: Trace,
+    },
+    /// All depths up to `max_depth` are UNSAT: no counterexample of bounded
+    /// length exists (the paper's "property proven true up to the
+    /// completeness threshold").
+    BoundReached {
+        /// The last depth proven UNSAT.
+        depth_completed: usize,
+    },
+    /// A per-depth conflict budget or the deadline ran out at `at_depth`.
+    ResourceOut {
+        /// Depth whose solve did not finish.
+        at_depth: usize,
+    },
+}
+
+impl fmt::Display for BmcOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BmcOutcome::Counterexample { depth, .. } => {
+                write!(f, "counterexample at depth {depth}")
+            }
+            BmcOutcome::BoundReached { depth_completed } => {
+                write!(f, "no counterexample up to depth {depth_completed}")
+            }
+            BmcOutcome::ResourceOut { at_depth } => {
+                write!(f, "resources exhausted at depth {at_depth}")
+            }
+        }
+    }
+}
+
+/// Summary of a finished run: outcome plus all per-depth statistics.
+#[derive(Clone, Debug)]
+pub struct BmcRun {
+    /// The verdict.
+    pub outcome: BmcOutcome,
+    /// One entry per attempted depth, in order.
+    pub per_depth: Vec<DepthStats>,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+impl BmcRun {
+    /// Sum of decisions over all depths.
+    pub fn total_decisions(&self) -> u64 {
+        self.per_depth.iter().map(|d| d.decisions).sum()
+    }
+
+    /// Sum of implications over all depths.
+    pub fn total_implications(&self) -> u64 {
+        self.per_depth.iter().map(|d| d.implications).sum()
+    }
+
+    /// Sum of conflicts over all depths.
+    pub fn total_conflicts(&self) -> u64 {
+        self.per_depth.iter().map(|d| d.conflicts).sum()
+    }
+
+    /// The deepest depth whose solve completed (SAT or UNSAT).
+    pub fn max_completed_depth(&self) -> Option<usize> {
+        self.per_depth
+            .iter()
+            .filter(|d| d.result != SolveResult::Unknown)
+            .map(|d| d.depth)
+            .max()
+    }
+}
+
+/// The `refine_order_bmc` engine (Fig. 5).
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct BmcEngine {
+    model: Model,
+    options: BmcOptions,
+    rank: VarRank,
+    per_depth: Vec<DepthStats>,
+}
+
+impl fmt::Debug for BmcEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BmcEngine")
+            .field("model", &self.model.name())
+            .field("options", &self.options)
+            .field("depths_done", &self.per_depth.len())
+            .finish()
+    }
+}
+
+impl BmcEngine {
+    /// Creates an engine for `model` with the given options.
+    pub fn new(model: Model, options: BmcOptions) -> BmcEngine {
+        BmcEngine {
+            model,
+            options,
+            rank: VarRank::new(options.weighting),
+            per_depth: Vec::new(),
+        }
+    }
+
+    /// The model under check.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The accumulated `varRank` (inspect after a run).
+    pub fn rank(&self) -> &VarRank {
+        &self.rank
+    }
+
+    /// Runs the loop of Fig. 5 and returns only the outcome.
+    pub fn run(&mut self) -> BmcOutcome {
+        self.run_collecting().outcome
+    }
+
+    /// Runs the loop of Fig. 5, collecting per-depth statistics.
+    pub fn run_collecting(&mut self) -> BmcRun {
+        let run_start = Instant::now();
+        let unroller = Unroller::new(&self.model);
+        let mut outcome = BmcOutcome::BoundReached {
+            depth_completed: 0,
+        };
+        let mut completed_all = true;
+        for k in 0..=self.options.max_depth {
+            let depth_start = Instant::now();
+            // gen_cnf_formula(M, P, k)
+            let formula = unroller.formula(k);
+            // sat_check(F, varRank)
+            let mut solver = self.make_solver(&formula, &unroller, k);
+            let limits = self.depth_limits();
+            let result = solver.solve_limited(&limits);
+            let stats = solver.stats();
+            let core_vars = match result {
+                SolveResult::Unsat => solver.core_vars().map(|v| v.len()).unwrap_or(0),
+                _ => 0,
+            };
+            self.per_depth.push(DepthStats {
+                depth: k,
+                result,
+                decisions: stats.decisions,
+                implications: stats.propagations,
+                conflicts: stats.conflicts,
+                num_vars: formula.num_vars(),
+                num_clauses: formula.num_clauses(),
+                core_vars,
+                switched_to_vsids: stats.switched_to_vsids,
+                cdg_nodes: stats.cdg_nodes,
+                cdg_edges: stats.cdg_edges,
+                time: depth_start.elapsed(),
+            });
+            match result {
+                SolveResult::Sat => {
+                    let assignment = solver.model().expect("model after SAT");
+                    let trace = Trace::from_assignment(&unroller, assignment, k);
+                    debug_assert!(
+                        trace.validate(&self.model).is_ok(),
+                        "solver returned an invalid counterexample"
+                    );
+                    outcome = BmcOutcome::Counterexample { depth: k, trace };
+                    completed_all = false;
+                    break;
+                }
+                SolveResult::Unsat => {
+                    // update_ranking(unsatVars, varRank)
+                    if self.options.strategy.needs_cores() {
+                        if let Some(vars) = solver.core_vars() {
+                            self.rank.update(&vars, k);
+                        }
+                    }
+                    outcome = BmcOutcome::BoundReached { depth_completed: k };
+                }
+                SolveResult::Unknown => {
+                    outcome = BmcOutcome::ResourceOut { at_depth: k };
+                    completed_all = false;
+                    break;
+                }
+            }
+        }
+        let _ = completed_all;
+        BmcRun {
+            outcome,
+            per_depth: std::mem::take(&mut self.per_depth),
+            total_time: run_start.elapsed(),
+        }
+    }
+
+    /// Builds the per-depth solver: installs the strategy's order mode and
+    /// the current `varRank` (or the Shtrichman frame ranking).
+    fn make_solver(
+        &self,
+        formula: &rbmc_cnf::CnfFormula,
+        unroller: &Unroller<'_>,
+        k: usize,
+    ) -> Solver {
+        let mut opts = self.options.solver;
+        opts.order_mode = match self.options.strategy {
+            OrderingStrategy::Standard => OrderMode::Standard,
+            OrderingStrategy::RefinedStatic | OrderingStrategy::Shtrichman => OrderMode::Static,
+            OrderingStrategy::RefinedDynamic { divisor } => OrderMode::Dynamic { divisor },
+        };
+        opts.record_cdg = self.options.strategy.needs_cores() || self.options.force_record_cdg;
+        let mut solver = Solver::from_formula_with(formula, opts);
+        match self.options.strategy {
+            OrderingStrategy::Standard => {}
+            OrderingStrategy::Shtrichman => {
+                solver.set_var_ranking(&shtrichman_rank(unroller, k));
+            }
+            _ => solver.set_var_ranking(self.rank.as_slice()),
+        }
+        solver
+    }
+
+    fn depth_limits(&self) -> Limits {
+        let mut limits = Limits::new();
+        if let Some(n) = self.options.max_conflicts_per_depth {
+            limits = limits.with_max_conflicts(n);
+        }
+        if let Some(deadline) = self.options.deadline {
+            limits = limits.with_deadline(deadline);
+        }
+        limits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{check_reachable, OracleVerdict};
+    use rbmc_circuit::{LatchInit, Netlist, Signal};
+
+    fn counter_model(width: usize, target: u64) -> Model {
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..width)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let next = n.bus_increment(&bits);
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let bad = n.bus_eq_const(&bits, target);
+        Model::new("counter", n, bad)
+    }
+
+    fn all_strategies() -> Vec<OrderingStrategy> {
+        vec![
+            OrderingStrategy::Standard,
+            OrderingStrategy::RefinedStatic,
+            OrderingStrategy::RefinedDynamic { divisor: 64 },
+            OrderingStrategy::Shtrichman,
+        ]
+    }
+
+    #[test]
+    fn finds_counterexample_at_oracle_depth() {
+        let model = counter_model(4, 11);
+        let expected = check_reachable(&model, 20);
+        assert_eq!(expected, OracleVerdict::FailsAt(11));
+        for strategy in all_strategies() {
+            let mut engine = BmcEngine::new(
+                counter_model(4, 11),
+                BmcOptions {
+                    max_depth: 20,
+                    strategy,
+                    ..BmcOptions::default()
+                },
+            );
+            match engine.run() {
+                BmcOutcome::Counterexample { depth, trace } => {
+                    assert_eq!(depth, 11, "{strategy:?}");
+                    assert!(trace.validate(engine.model()).is_ok(), "{strategy:?}");
+                }
+                other => panic!("{strategy:?}: expected cex, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn passing_property_reaches_bound() {
+        // 3-bit counter never equals 12.
+        let model = counter_model(3, 12);
+        for strategy in all_strategies() {
+            let mut engine = BmcEngine::new(
+                model.clone(),
+                BmcOptions {
+                    max_depth: 12,
+                    strategy,
+                    ..BmcOptions::default()
+                },
+            );
+            match engine.run() {
+                BmcOutcome::BoundReached { depth_completed } => {
+                    assert_eq!(depth_completed, 12, "{strategy:?}")
+                }
+                other => panic!("{strategy:?}: expected bound reached, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refined_strategies_accumulate_rank() {
+        let model = counter_model(4, 9);
+        let mut engine = BmcEngine::new(
+            model,
+            BmcOptions {
+                max_depth: 9,
+                strategy: OrderingStrategy::RefinedStatic,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        assert!(matches!(run.outcome, BmcOutcome::Counterexample { depth: 9, .. }));
+        // Nine UNSAT instances were consumed (k = 0..8).
+        assert_eq!(engine.rank().num_updates(), 9);
+        assert!(engine.rank().num_ranked() > 0);
+    }
+
+    #[test]
+    fn per_depth_stats_are_complete() {
+        let model = counter_model(3, 5);
+        let mut engine = BmcEngine::new(
+            model,
+            BmcOptions {
+                max_depth: 10,
+                strategy: OrderingStrategy::RefinedDynamic { divisor: 64 },
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        // Depths 0..=5 attempted; 5 is SAT.
+        assert_eq!(run.per_depth.len(), 6);
+        for (i, d) in run.per_depth.iter().enumerate() {
+            assert_eq!(d.depth, i);
+            assert!(d.num_vars > 0 && d.num_clauses > 0);
+            let expected = if i == 5 {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(d.result, expected);
+        }
+        // An input-free counter is fully determined by propagation, so
+        // decisions may legitimately be zero; implications never are.
+        assert!(run.total_implications() > 0);
+        assert_eq!(run.max_completed_depth(), Some(5));
+    }
+
+    #[test]
+    fn conflict_budget_reports_resource_out() {
+        // With a zero conflict budget, the UNSAT depths of the input-free
+        // counter still complete (level-0 propagation refutes them before the
+        // budget is consulted), but the SAT depth hits the budget check in
+        // the decision loop and reports ResourceOut there.
+        let model = counter_model(3, 5);
+        let mut engine = BmcEngine::new(
+            model,
+            BmcOptions {
+                max_depth: 12,
+                strategy: OrderingStrategy::Standard,
+                max_conflicts_per_depth: Some(0),
+                ..BmcOptions::default()
+            },
+        );
+        match engine.run() {
+            BmcOutcome::ResourceOut { at_depth } => assert_eq!(at_depth, 5),
+            other => panic!("expected resource-out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_display_is_informative() {
+        let model = counter_model(3, 5);
+        let mut engine = BmcEngine::new(model, BmcOptions::default());
+        let outcome = engine.run();
+        assert!(outcome.to_string().contains("depth 5"));
+    }
+}

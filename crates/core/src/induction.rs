@@ -1,0 +1,277 @@
+//! k-induction on top of the same unroller (extension).
+//!
+//! The paper's conclusion expects the refined ordering to combine with other
+//! SAT-based techniques that share the BMC structure. Temporal induction
+//! (Eén & Sörensson 2003, cited as \[5\]) is the natural companion: it can
+//! *prove* `G P` outright instead of only refuting bounded counterexamples.
+//!
+//! Depth-`k` induction asks two questions:
+//!
+//! - **Base**: no initialized path of length ≤ `k` reaches a bad state
+//!   (exactly BMC, so the refined engine is reused).
+//! - **Step**: no path of `k+1` consecutive good states can end in a bad
+//!   state (no initial-state constraint; with the *unique states*
+//!   strengthening, the path must not repeat a register state).
+//!
+//! If the step holds, `G P` holds; otherwise `k` is increased. With unique
+//! states the loop is complete: it terminates for every finite model.
+
+use rbmc_cnf::{CnfFormula, Lit};
+use rbmc_circuit::Node;
+use rbmc_solver::{SolveResult, Solver, SolverOptions};
+
+use crate::{BmcEngine, BmcOptions, BmcOutcome, Model, Trace, Unroller};
+
+/// Outcome of a k-induction proof attempt.
+#[derive(Clone, Debug)]
+pub enum InductionOutcome {
+    /// The invariant holds in all reachable states (proved at this `k`).
+    Proved {
+        /// Induction depth at which the step case became UNSAT.
+        k: usize,
+    },
+    /// The invariant fails; a counterexample of this length exists.
+    Falsified {
+        /// Counterexample length.
+        depth: usize,
+        /// The validated trace.
+        trace: Trace,
+    },
+    /// `max_k` was reached without an answer.
+    Unknown {
+        /// The bound that was exhausted.
+        max_k: usize,
+    },
+}
+
+/// Proves or refutes `G ¬bad` by k-induction with unique-states
+/// strengthening.
+///
+/// `options.strategy` is used for the base-case BMC runs (the refined
+/// ordering applies there); step cases run with the same solver options.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_circuit::{LatchInit, Netlist};
+/// use rbmc_core::induction::{prove, InductionOutcome};
+/// use rbmc_core::{BmcOptions, Model};
+///
+/// // A 3-bit counter that wraps: it never reaches 9 (> 7), so the property
+/// // "counter != 9" is provable.
+/// let mut n = Netlist::new();
+/// let bits: Vec<_> = (0..3).map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero)).collect();
+/// let next = n.bus_increment(&bits);
+/// for (&b, &nx) in bits.iter().zip(&next) { n.set_next(b, nx); }
+/// let bad = n.bus_eq_const(&bits, 9);
+/// let model = Model::new("c3", n, bad);
+/// match prove(&model, 10, BmcOptions::default()) {
+///     InductionOutcome::Proved { .. } => {}
+///     other => panic!("expected a proof, got {other:?}"),
+/// }
+/// ```
+pub fn prove(model: &Model, max_k: usize, options: BmcOptions) -> InductionOutcome {
+    for k in 0..=max_k {
+        // Base case: BMC up to depth k.
+        let mut engine = BmcEngine::new(
+            model.clone(),
+            BmcOptions {
+                max_depth: k,
+                ..options
+            },
+        );
+        match engine.run() {
+            BmcOutcome::Counterexample { depth, trace } => {
+                return InductionOutcome::Falsified { depth, trace };
+            }
+            BmcOutcome::ResourceOut { .. } => return InductionOutcome::Unknown { max_k: k },
+            BmcOutcome::BoundReached { .. } => {}
+        }
+        // Step case.
+        if step_case_holds(model, k, options.solver) {
+            return InductionOutcome::Proved { k };
+        }
+    }
+    InductionOutcome::Unknown { max_k }
+}
+
+/// Builds and solves the step case at depth `k`: a path of `k+1` good,
+/// pairwise-distinct states followed by a bad state. UNSAT ⟹ proved.
+fn step_case_holds(model: &Model, k: usize, solver_opts: SolverOptions) -> bool {
+    let unroller = Unroller::new(model);
+    // Frames 0..=k+1; no initial-state constraint.
+    let mut formula = CnfFormula::with_vars(unroller.num_vars_at(k + 1));
+    for frame in 0..=k + 1 {
+        emit_uninitialized_frame(&unroller, frame, &mut formula);
+    }
+    // Good states at frames 0..=k, bad at k+1.
+    for frame in 0..=k {
+        formula.add_clause([!unroller.lit_of(model.bad(), frame)]);
+    }
+    formula.add_clause([unroller.lit_of(model.bad(), k + 1)]);
+    // Unique states: for every pair of frames, some register differs.
+    let latches = model.netlist().latches();
+    for i in 0..=k + 1 {
+        for j in i + 1..=k + 1 {
+            add_state_disequality(&unroller, &latches, i, j, &mut formula);
+        }
+    }
+    let mut solver = Solver::from_formula_with(&formula, solver_opts);
+    solver.solve() == SolveResult::Unsat
+}
+
+/// Same frame constraints as the BMC unroller, but frame 0 registers are
+/// unconstrained (no `I(V⁰)`).
+fn emit_uninitialized_frame(unroller: &Unroller<'_>, frame: usize, formula: &mut CnfFormula) {
+    // Reuse the full encoder through a temporary trick: the unroller's
+    // `formula` always constrains frame 0, so re-emit by hand here.
+    let netlist = unroller.model().netlist();
+    formula.add_clause([unroller
+        .var_of(rbmc_circuit::NodeId::CONST, frame)
+        .negative()]);
+    for id in netlist.node_ids() {
+        match netlist.node(id) {
+            Node::Latch {
+                next: Some(next), ..
+            } if frame > 0 => {
+                let cur = unroller.var_of(id, frame).positive();
+                let prev = unroller.lit_of(*next, frame - 1);
+                formula.add_clause([!cur, prev]);
+                formula.add_clause([cur, !prev]);
+            }
+            Node::Gate { .. } => {
+                // Delegate gate encoding to the unroller by re-deriving the
+                // clauses from a single-frame formula would duplicate code;
+                // instead call the shared helper below.
+                unroller.emit_gate_for(id, frame, formula);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Adds `Vⁱ ≠ Vʲ` via one auxiliary "difference" variable per register pair:
+/// `d ↔ (vᵢ ⊕ vⱼ)` …  encoded lazily as a single long clause over XOR-free
+/// literals: `⋁_r (vᵢʳ ≠ vⱼʳ)` using one fresh variable per register.
+fn add_state_disequality(
+    unroller: &Unroller<'_>,
+    latches: &[rbmc_circuit::NodeId],
+    i: usize,
+    j: usize,
+    formula: &mut CnfFormula,
+) {
+    let mut clause: Vec<Lit> = Vec::with_capacity(latches.len());
+    for &l in latches {
+        let a = unroller.var_of(l, i).positive();
+        let b = unroller.var_of(l, j).positive();
+        // Fresh variable d with d → (a ⊕ b); one direction suffices for the
+        // disjunction "some register differs".
+        let d = formula.new_var().positive();
+        // d → (a ∨ b), d → (¬a ∨ ¬b): together force a ≠ b when d holds.
+        formula.add_clause([!d, a, b]);
+        formula.add_clause([!d, !a, !b]);
+        clause.push(d);
+    }
+    if clause.is_empty() {
+        // No registers: all states identical, so paths cannot be simple —
+        // the step case degenerates; forbid it outright.
+        formula.add_clause(Vec::<Lit>::new());
+    } else {
+        formula.add_clause(clause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_circuit::{LatchInit, Netlist, Signal};
+
+    fn counter_model(width: usize, target: u64) -> Model {
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..width)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let next = n.bus_increment(&bits);
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let bad = n.bus_eq_const(&bits, target);
+        Model::new("counter", n, bad)
+    }
+
+    #[test]
+    fn proves_unreachable_value() {
+        // 3-bit counter: 9 > 7 is syntactically impossible -> bad folds to
+        // constant false; use 7 reachable? 7 IS reachable. Use a masked bad:
+        // counter == 5 AND counter == 2 simultaneously (contradiction).
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..3)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let next = n.bus_increment(&bits);
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let e5 = n.bus_eq_const(&bits, 5);
+        let e2 = n.bus_eq_const(&bits, 2);
+        let bad = n.and2(e5, e2);
+        let model = Model::new("contradiction", n, bad);
+        match prove(&model, 5, BmcOptions::default()) {
+            InductionOutcome::Proved { .. } => {}
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn falsifies_reachable_value() {
+        let model = counter_model(3, 6);
+        match prove(&model, 10, BmcOptions::default()) {
+            InductionOutcome::Falsified { depth, trace } => {
+                assert_eq!(depth, 6);
+                assert!(trace.validate(&model).is_ok());
+            }
+            other => panic!("expected falsification, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proves_sticky_invariant() {
+        // latch := latch (constant 0 forever); bad = latch. Inductive at k=0.
+        let mut n = Netlist::new();
+        let l = n.add_latch("l", LatchInit::Zero);
+        n.set_next(l, l);
+        let model = Model::new("sticky0", n, l);
+        match prove(&model, 3, BmcOptions::default()) {
+            InductionOutcome::Proved { k } => assert_eq!(k, 0),
+            other => panic!("expected proof at k=0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unique_states_gives_completeness_on_counter() {
+        // "3-bit counter never equals 12": not plainly inductive (a path of
+        // good states 11 -> 12 exists? No — 12 isn't representable in 3 bits;
+        // bad folds to FALSE and k=0 suffices). Use a 4-bit counter that
+        // wraps at 16 and the unreachable value... all 4-bit values are
+        // reachable, so instead check that unique-states terminates on a
+        // property that needs deep induction: 4-bit counter stuck at target
+        // 12 with a reset-at-10 next function (12 unreachable).
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..4)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let inc = n.bus_increment(&bits);
+        let at10 = n.bus_eq_const(&bits, 10);
+        // next = at10 ? 0 : inc
+        let next: Vec<Signal> = inc.iter().map(|&s| n.mux(at10, Signal::FALSE, s)).collect();
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let bad = n.bus_eq_const(&bits, 12);
+        let model = Model::new("reset10", n, bad);
+        match prove(&model, 16, BmcOptions::default()) {
+            InductionOutcome::Proved { .. } => {}
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The model `⟨V, W, I, T⟩` plus the invariant under check.
+
+use rbmc_circuit::{Netlist, Signal};
+
+/// A model-checking instance: a sequential netlist and a *bad-state*
+/// predicate (`bad = ¬P` for the invariant `G P`).
+///
+/// The netlist supplies the registers `V` (latches with initial values,
+/// i.e. `I`), the inputs `W`, and the transition relation `T` (the latches'
+/// next-state functions). `bad` is a signal over the current frame; a
+/// counterexample is an initialized path that makes it true.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_circuit::{LatchInit, Netlist};
+/// use rbmc_core::Model;
+///
+/// let mut n = Netlist::new();
+/// let t = n.add_latch("t", LatchInit::Zero);
+/// n.set_next(t, !t);
+/// // Invariant "t is never 1 at an even step" is violated at depth 1.
+/// let model = Model::new("toggle", n, t);
+/// assert_eq!(model.name(), "toggle");
+/// assert_eq!(model.num_registers(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    name: String,
+    netlist: Netlist,
+    bad: Signal,
+}
+
+impl Model {
+    /// Creates a model from a netlist and a bad-state signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails [`Netlist::validate`].
+    pub fn new(name: &str, netlist: Netlist, bad: Signal) -> Model {
+        netlist.validate().expect("model netlist must be well-formed");
+        Model {
+            name: name.to_string(),
+            netlist,
+            bad,
+        }
+    }
+
+    /// Creates a model whose bad signal is a named output of the netlist.
+    ///
+    /// This is how BLIF/AIGER frontends attach properties: the convention is
+    /// an output that is 1 exactly in the bad states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not exist or the netlist is malformed.
+    pub fn from_output(name: &str, netlist: Netlist, output: &str) -> Model {
+        let bad = netlist
+            .output(output)
+            .unwrap_or_else(|| panic!("netlist has no output named `{output}`"));
+        Model::new(name, netlist, bad)
+    }
+
+    /// The instance name (used in benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The bad-state signal (`¬P`).
+    pub fn bad(&self) -> Signal {
+        self.bad
+    }
+
+    /// Number of registers (`|V|`).
+    pub fn num_registers(&self) -> usize {
+        self.netlist.num_latches()
+    }
+
+    /// Number of primary inputs (`|W|`).
+    pub fn num_inputs(&self) -> usize {
+        self.netlist.num_inputs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_circuit::LatchInit;
+
+    #[test]
+    fn from_output_resolves_bad_signal() {
+        let mut n = Netlist::new();
+        let l = n.add_latch("l", LatchInit::Zero);
+        n.set_next(l, !l);
+        n.add_output("bad", l);
+        let m = Model::from_output("m", n, "bad");
+        assert_eq!(m.bad(), m.netlist().output("bad").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "no output named")]
+    fn from_missing_output_panics() {
+        let mut n = Netlist::new();
+        let l = n.add_latch("l", LatchInit::Zero);
+        n.set_next(l, !l);
+        let _ = Model::from_output("m", n, "ghost");
+    }
+
+    #[test]
+    #[should_panic(expected = "well-formed")]
+    fn invalid_netlist_rejected() {
+        let mut n = Netlist::new();
+        let _ = n.add_latch("l", LatchInit::Zero); // never connected
+        let _ = Model::new("m", n, rbmc_circuit::Signal::FALSE);
+    }
+}

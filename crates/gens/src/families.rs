@@ -1,0 +1,812 @@
+//! The parameterized circuit families.
+//!
+//! Every constructor returns a [`Model`] whose bad-state signal encodes the
+//! property under check; see the crate docs for the family/variant table.
+
+use rbmc_circuit::{LatchInit, Netlist, Signal};
+use rbmc_core::Model;
+
+/// A `width`-bit counter with an enable input, stepping by `step`; bad when
+/// the count equals `target`.
+///
+/// With `step = 1` the property fails exactly at depth `target`. With
+/// `step = 2` and an odd `target` the property holds: the LSB is an
+/// invariant, and UNSAT cores concentrate on it — the situation of the
+/// paper's Fig. 3/4.
+pub fn gated_counter(width: usize, step: u64, target: u64) -> Model {
+    let mut n = Netlist::new();
+    let en = n.add_input("en");
+    let bits: Vec<Signal> = (0..width)
+        .map(|i| n.add_latch(&format!("c{i}"), LatchInit::Zero))
+        .collect();
+    // adder: bits + step (constant), gated by en.
+    let step_bits: Vec<Signal> = (0..width)
+        .map(|i| {
+            if step >> i & 1 == 1 {
+                Signal::TRUE
+            } else {
+                Signal::FALSE
+            }
+        })
+        .collect();
+    let sum = n.bus_add(&bits, &step_bits);
+    for (&b, &s) in bits.iter().zip(&sum) {
+        let next = n.mux(en, s, b);
+        n.set_next(b, next);
+    }
+    let bad = n.bus_eq_const(&bits, target);
+    Model::new(
+        &format!("counter{width}x{step}@{target}"),
+        n,
+        bad,
+    )
+}
+
+/// A `width`-stage shift register fed by an input; bad when the whole window
+/// is ones. Fails exactly at depth `width` (the earliest frame by which
+/// `width` ones have been shifted in).
+pub fn shift_all_ones(width: usize) -> Model {
+    let mut n = Netlist::new();
+    let i = n.add_input("in");
+    let mut taps = Vec::with_capacity(width);
+    let mut prev = i;
+    for j in 0..width {
+        let s = n.add_latch(&format!("s{j}"), LatchInit::Zero);
+        n.set_next(s, prev);
+        taps.push(s);
+        prev = s;
+    }
+    let bad = n.and_many(&taps);
+    Model::new(&format!("shift{width}_ones"), n, bad)
+}
+
+/// Two identical shift registers fed by the same input; bad when any pair of
+/// corresponding taps disagrees. Holds at every depth; the UNSAT core is the
+/// pairwise-equality invariant across both copies.
+pub fn shift_twin(width: usize) -> Model {
+    let mut n = Netlist::new();
+    let i = n.add_input("in");
+    let mut mismatch = Vec::with_capacity(width);
+    let mut prev_a = i;
+    let mut prev_b = i;
+    for j in 0..width {
+        let a = n.add_latch(&format!("a{j}"), LatchInit::Zero);
+        let b = n.add_latch(&format!("b{j}"), LatchInit::Zero);
+        n.set_next(a, prev_a);
+        n.set_next(b, prev_b);
+        mismatch.push(n.xor2(a, b));
+        prev_a = a;
+        prev_b = b;
+    }
+    let bad = n.or_many(&mismatch);
+    Model::new(&format!("shift{width}_twin"), n, bad)
+}
+
+/// An `n`-station token ring with request inputs; a station grants when it
+/// holds the token and its request is high; bad when two stations grant in
+/// the same cycle. The token is one-hot initialized and rotates, so the
+/// property holds.
+pub fn token_ring(stations: usize) -> Model {
+    let mut netlist = Netlist::new();
+    let reqs: Vec<Signal> = (0..stations)
+        .map(|i| netlist.add_input(&format!("r{i}")))
+        .collect();
+    let tokens: Vec<Signal> = (0..stations)
+        .map(|i| {
+            let init = if i == 0 { LatchInit::One } else { LatchInit::Zero };
+            netlist.add_latch(&format!("t{i}"), init)
+        })
+        .collect();
+    for i in 0..stations {
+        let prev = tokens[(i + stations - 1) % stations];
+        netlist.set_next(tokens[i], prev);
+    }
+    let grants: Vec<Signal> = tokens
+        .iter()
+        .zip(&reqs)
+        .map(|(&t, &r)| netlist.and2(t, r))
+        .collect();
+    let mut doubles = Vec::new();
+    for i in 0..stations {
+        for j in i + 1..stations {
+            doubles.push(netlist.and2(grants[i], grants[j]));
+        }
+    }
+    let bad = netlist.or_many(&doubles);
+    Model::new(&format!("ring{stations}"), netlist, bad)
+}
+
+/// A token ring with an injection bug: station 0 *also* receives a token
+/// whenever its request has been high for `fuse` consecutive cycles. Two
+/// tokens then coexist and a double grant becomes reachable; the property
+/// fails at depth `fuse + 1`.
+pub fn token_ring_buggy(stations: usize, fuse: usize) -> Model {
+    assert!(fuse >= 1, "fuse must be at least 1");
+    let mut netlist = Netlist::new();
+    let reqs: Vec<Signal> = (0..stations)
+        .map(|i| netlist.add_input(&format!("r{i}")))
+        .collect();
+    let tokens: Vec<Signal> = (0..stations)
+        .map(|i| {
+            let init = if i == 0 { LatchInit::One } else { LatchInit::Zero };
+            netlist.add_latch(&format!("t{i}"), init)
+        })
+        .collect();
+    // Saturating run-length recognizer for r0: chain of `fuse` latches.
+    let mut run = Signal::TRUE;
+    for j in 0..fuse {
+        let l = netlist.add_latch(&format!("run{j}"), LatchInit::Zero);
+        let next = netlist.and2(run, reqs[0]);
+        netlist.set_next(l, next);
+        run = l;
+    }
+    for i in 0..stations {
+        let prev = tokens[(i + stations - 1) % stations];
+        let next = if i == 0 {
+            // Injection bug: the fuse OR the rotating predecessor.
+            netlist.or2(prev, run)
+        } else {
+            prev
+        };
+        netlist.set_next(tokens[i], next);
+    }
+    let grants: Vec<Signal> = tokens
+        .iter()
+        .zip(&reqs)
+        .map(|(&t, &r)| netlist.and2(t, r))
+        .collect();
+    let mut doubles = Vec::new();
+    for i in 0..stations {
+        for j in i + 1..stations {
+            doubles.push(netlist.and2(grants[i], grants[j]));
+        }
+    }
+    let bad = netlist.or_many(&doubles);
+    Model::new(&format!("ring{stations}_bug{fuse}"), netlist, bad)
+}
+
+/// A FIFO occupancy tracker with `2^ptr_bits` slots. Push/pop inputs are
+/// guarded by full/empty, so the count can never exceed the capacity: the
+/// overflow property holds.
+pub fn fifo_guarded(ptr_bits: usize) -> Model {
+    fifo(ptr_bits, true)
+}
+
+/// The same FIFO with the full-guard removed: pushing every cycle overflows;
+/// the property fails at depth `2^ptr_bits + 1`.
+pub fn fifo_unguarded(ptr_bits: usize) -> Model {
+    fifo(ptr_bits, false)
+}
+
+fn fifo(ptr_bits: usize, guarded: bool) -> Model {
+    let capacity = 1u64 << ptr_bits;
+    let width = ptr_bits + 2; // room to represent capacity + 1
+    let mut n = Netlist::new();
+    let push = n.add_input("push");
+    let pop = n.add_input("pop");
+    let count: Vec<Signal> = (0..width)
+        .map(|i| n.add_latch(&format!("cnt{i}"), LatchInit::Zero))
+        .collect();
+    let full = n.bus_eq_const(&count, capacity);
+    let empty = n.bus_eq_const(&count, 0);
+    let do_push = if guarded { n.and2(push, !full) } else { push };
+    let do_pop = {
+        let p = n.and2(pop, !empty);
+        // pushing and popping together cancel; prioritize push for simplicity
+        n.and2(p, !do_push)
+    };
+    // count' = count + do_push - do_pop. Incrementer and decrementer muxed.
+    let inc = n.bus_increment(&count);
+    let dec = {
+        // decrement = add all-ones (two's complement -1).
+        let minus1: Vec<Signal> = (0..width).map(|_| Signal::TRUE).collect();
+        n.bus_add(&count, &minus1)
+    };
+    for (i, &c) in count.iter().enumerate() {
+        let after_push = n.mux(do_push, inc[i], c);
+        let next = n.mux(do_pop, dec[i], after_push);
+        n.set_next(c, next);
+    }
+    let bad = n.bus_eq_const(&count, capacity + 1);
+    let name = format!(
+        "fifo{}{}",
+        capacity,
+        if guarded { "_guarded" } else { "_overflow" }
+    );
+    Model::new(&name, n, bad)
+}
+
+/// A combination lock: a state counter advances only when the `code_bits`
+/// input matches the next code symbol, and resets otherwise. Bad when fully
+/// unlocked; fails exactly at depth `code.len()` (the prefix-free code makes
+/// earlier unlocks impossible). This is the search-heavy family: the SAT
+/// solver must discover the code.
+pub fn combination_lock(code: &[u8], code_bits: usize) -> Model {
+    assert!(code_bits <= 8 && !code.is_empty());
+    let len = code.len();
+    let state_bits = usize::BITS as usize - (len + 1).leading_zeros() as usize;
+    let mut n = Netlist::new();
+    let digit: Vec<Signal> = (0..code_bits)
+        .map(|i| n.add_input(&format!("d{i}")))
+        .collect();
+    let state: Vec<Signal> = (0..state_bits)
+        .map(|i| n.add_latch(&format!("st{i}"), LatchInit::Zero))
+        .collect();
+    // match_j = (state == j) ∧ (digit == code[j])
+    let inc = n.bus_increment(&state);
+    let mut advance_terms = Vec::with_capacity(len);
+    for (j, &symbol) in code.iter().enumerate() {
+        let at_j = n.bus_eq_const(&state, j as u64);
+        let sym_ok = n.bus_eq_const(&digit, u64::from(symbol));
+        advance_terms.push(n.and2(at_j, sym_ok));
+    }
+    let advance = n.or_many(&advance_terms);
+    let unlocked = n.bus_eq_const(&state, len as u64);
+    // Once unlocked, stay unlocked; otherwise advance or reset.
+    for (i, &s) in state.iter().enumerate() {
+        let reset_or_inc = n.mux(advance, inc[i], Signal::FALSE);
+        let next = n.mux(unlocked, s, reset_or_inc);
+        n.set_next(s, next);
+    }
+    Model::new(&format!("lock{len}x{code_bits}"), n, unlocked)
+}
+
+/// A combination lock whose final step is impossible (it requires the digit
+/// to equal two different symbols at once), so it can never open: holds.
+pub fn combination_lock_impossible(code: &[u8], code_bits: usize) -> Model {
+    assert!(code.len() >= 2);
+    let len = code.len();
+    let state_bits = usize::BITS as usize - (len + 1).leading_zeros() as usize;
+    let mut n = Netlist::new();
+    let digit: Vec<Signal> = (0..code_bits)
+        .map(|i| n.add_input(&format!("d{i}")))
+        .collect();
+    let state: Vec<Signal> = (0..state_bits)
+        .map(|i| n.add_latch(&format!("st{i}"), LatchInit::Zero))
+        .collect();
+    let inc = n.bus_increment(&state);
+    let mut advance_terms = Vec::with_capacity(len);
+    for (j, &symbol) in code.iter().enumerate() {
+        let at_j = n.bus_eq_const(&state, j as u64);
+        let sym_ok = if j == len - 1 {
+            // Impossible step: digit == symbol ∧ digit == symbol+1.
+            let a = n.bus_eq_const(&digit, u64::from(symbol));
+            let b = n.bus_eq_const(&digit, u64::from(symbol) + 1);
+            n.and2(a, b)
+        } else {
+            n.bus_eq_const(&digit, u64::from(symbol))
+        };
+        advance_terms.push(n.and2(at_j, sym_ok));
+    }
+    let advance = n.or_many(&advance_terms);
+    let unlocked = n.bus_eq_const(&state, len as u64);
+    for (i, &s) in state.iter().enumerate() {
+        let reset_or_inc = n.mux(advance, inc[i], Signal::FALSE);
+        let next = n.mux(unlocked, s, reset_or_inc);
+        n.set_next(s, next);
+    }
+    Model::new(&format!("lock{len}x{code_bits}_imp"), n, unlocked)
+}
+
+/// Triple-modular-redundant `width`-bit counter with feedback voting. A
+/// fault input can corrupt at most `faults` copies per cycle (selected by
+/// decoded select inputs). With `faults = 1` the majority always outvotes
+/// the corruption and the three copies can never become pairwise distinct:
+/// holds. With `faults = 2` the property fails within a few cycles.
+pub fn tmr_voter(width: usize, faults: usize) -> Model {
+    assert!((1..=2).contains(&faults));
+    let mut n = Netlist::new();
+    let en = n.add_input("en");
+    // Fault controls: one flip target selector per allowed fault.
+    let mut flip_for_copy: Vec<Vec<Signal>> = vec![Vec::new(); 3];
+    for f in 0..faults {
+        let s0 = n.add_input(&format!("f{f}_s0"));
+        let s1 = n.add_input(&format!("f{f}_s1"));
+        let hit = n.add_input(&format!("f{f}_hit"));
+        // Decode: copy 0 = !s1 & !s0, copy 1 = !s1 & s0, copy 2 = s1 & !s0.
+        let c0 = n.and_many(&[!s1, !s0, hit]);
+        let c1 = n.and_many(&[!s1, s0, hit]);
+        let c2 = n.and_many(&[s1, !s0, hit]);
+        flip_for_copy[0].push(c0);
+        flip_for_copy[1].push(c1);
+        flip_for_copy[2].push(c2);
+    }
+    let copies: Vec<Vec<Signal>> = (0..3)
+        .map(|c| {
+            (0..width)
+                .map(|i| n.add_latch(&format!("c{c}b{i}"), LatchInit::Zero))
+                .collect()
+        })
+        .collect();
+    // Voted current state, bit per bit: maj(c0, c1, c2).
+    let voted: Vec<Signal> = (0..width)
+        .map(|i| {
+            let ab = n.and2(copies[0][i], copies[1][i]);
+            let bc = n.and2(copies[1][i], copies[2][i]);
+            let ac = n.and2(copies[0][i], copies[2][i]);
+            n.or_many(&[ab, bc, ac])
+        })
+        .collect();
+    // Common next state: voted + en (gated increment of the voted value).
+    let inc = n.bus_increment(&voted);
+    let common_next: Vec<Signal> = (0..width)
+        .map(|i| n.mux(en, inc[i], voted[i]))
+        .collect();
+    for (c, copy) in copies.iter().enumerate() {
+        for (i, &bit) in copy.iter().enumerate() {
+            // Fault `f` flips bit `f` of the written value, so two
+            // concurrent faults on different copies produce three pairwise
+            // distinct values (one clean, two differently corrupted).
+            let corrupted = match flip_for_copy[c].get(i) {
+                Some(&flip) => n.xor2(common_next[i], flip),
+                None => common_next[i],
+            };
+            n.set_next(bit, corrupted);
+        }
+    }
+    // Bad: the three copies pairwise distinct.
+    let d01 = {
+        let bits: Vec<Signal> = (0..width)
+            .map(|i| n.xor2(copies[0][i], copies[1][i]))
+            .collect();
+        n.or_many(&bits)
+    };
+    let d12 = {
+        let bits: Vec<Signal> = (0..width)
+            .map(|i| n.xor2(copies[1][i], copies[2][i]))
+            .collect();
+        n.or_many(&bits)
+    };
+    let d02 = {
+        let bits: Vec<Signal> = (0..width)
+            .map(|i| n.xor2(copies[0][i], copies[2][i]))
+            .collect();
+        n.or_many(&bits)
+    };
+    let bad = n.and_many(&[d01, d12, d02]);
+    Model::new(&format!("tmr{width}f{faults}"), n, bad)
+}
+
+/// A `stages`-deep valid-bit pipeline with a stall input. The failing
+/// variant asks whether a token inserted at the front can emerge at the last
+/// stage: it can, at depth `stages` (insert, then let it march).
+pub fn pipeline_emerge(stages: usize) -> Model {
+    let mut n = Netlist::new();
+    let insert = n.add_input("insert");
+    let stall = n.add_input("stall");
+    let mut valid = Vec::with_capacity(stages);
+    let mut prev = insert;
+    for j in 0..stages {
+        let v = n.add_latch(&format!("v{j}"), LatchInit::Zero);
+        let next = n.mux(stall, v, prev);
+        n.set_next(v, next);
+        valid.push(v);
+        prev = v;
+    }
+    let bad = valid[stages - 1];
+    Model::new(&format!("pipe{stages}_emerge"), n, bad)
+}
+
+/// The passing pipeline variant: a sticky "ever inserted" bit accompanies
+/// the data; bad is a token at the last stage without any insertion ever —
+/// unreachable, and the UNSAT core must thread the whole pipeline.
+pub fn pipeline_no_ghost(stages: usize) -> Model {
+    let mut n = Netlist::new();
+    let insert = n.add_input("insert");
+    let stall = n.add_input("stall");
+    let ever = n.add_latch("ever", LatchInit::Zero);
+    let ever_next = n.or2(ever, insert);
+    n.set_next(ever, ever_next);
+    let mut valid = Vec::with_capacity(stages);
+    let mut prev = insert;
+    for j in 0..stages {
+        let v = n.add_latch(&format!("v{j}"), LatchInit::Zero);
+        let next = n.mux(stall, v, prev);
+        n.set_next(v, next);
+        valid.push(v);
+        prev = v;
+    }
+    let bad = n.and2(valid[stages - 1], !ever_next);
+    Model::new(&format!("pipe{stages}_ghost"), n, bad)
+}
+
+/// A `width`-bit binary counter with an enable input, checked for "at most
+/// `flips - 1` bits change per step". A binary increment flips `flips` bits
+/// for the first time when the counter is `2^(flips-1) - 1`, reached
+/// earliest at that depth (enable high every cycle); the property fails
+/// there. The enable makes the counter's timing input-dependent, so the
+/// UNSAT depths need genuine search.
+pub fn binary_flips(width: usize, flips: usize) -> Model {
+    assert!(flips >= 2 && flips <= width);
+    let mut n = Netlist::new();
+    let en = n.add_input("en");
+    let bits: Vec<Signal> = (0..width)
+        .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+        .collect();
+    let inc = n.bus_increment(&bits);
+    let next: Vec<Signal> = bits
+        .iter()
+        .zip(&inc)
+        .map(|(&b, &nx)| n.mux(en, nx, b))
+        .collect();
+    for (&b, &nx) in bits.iter().zip(&next) {
+        n.set_next(b, nx);
+    }
+    let changed: Vec<Signal> = bits
+        .iter()
+        .zip(&next)
+        .map(|(&b, &nx)| n.xor2(b, nx))
+        .collect();
+    let bad = at_least_k(&mut n, &changed, flips);
+    Model::new(&format!("bin{width}_flip{flips}"), n, bad)
+}
+
+/// The same change-count check on a Gray-code counter, which flips exactly
+/// one bit per step: checking "at most 1 flip" … holds for every bound.
+pub fn gray_flips(width: usize) -> Model {
+    let mut n = Netlist::new();
+    // Keep the binary counter as the state; derive gray = b ^ (b >> 1)
+    // combinationally for both the current and next values. The enable input
+    // makes the timing input-dependent (as in [`binary_flips`]).
+    let en = n.add_input("en");
+    let bits: Vec<Signal> = (0..width)
+        .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+        .collect();
+    let inc = n.bus_increment(&bits);
+    let next: Vec<Signal> = bits
+        .iter()
+        .zip(&inc)
+        .map(|(&b, &nx)| n.mux(en, nx, b))
+        .collect();
+    for (&b, &nx) in bits.iter().zip(&next) {
+        n.set_next(b, nx);
+    }
+    let gray_cur: Vec<Signal> = (0..width)
+        .map(|i| {
+            if i + 1 < width {
+                n.xor2(bits[i], bits[i + 1])
+            } else {
+                bits[i]
+            }
+        })
+        .collect();
+    let gray_next: Vec<Signal> = (0..width)
+        .map(|i| {
+            if i + 1 < width {
+                n.xor2(next[i], next[i + 1])
+            } else {
+                next[i]
+            }
+        })
+        .collect();
+    let changed: Vec<Signal> = gray_cur
+        .iter()
+        .zip(&gray_next)
+        .map(|(&a, &b)| n.xor2(a, b))
+        .collect();
+    let bad = at_least_k(&mut n, &changed, 2);
+    Model::new(&format!("gray{width}"), n, bad)
+}
+
+/// A two-road traffic-light interlock with timers. The correct controller
+/// never shows green on both roads: holds.
+pub fn traffic_interlock(timer_bits: usize) -> Model {
+    traffic(timer_bits, false)
+}
+
+/// The buggy controller lets a sensor input switch road B to green without
+/// waiting for road A's yellow phase: fails within a few cycles.
+pub fn traffic_buggy(timer_bits: usize) -> Model {
+    traffic(timer_bits, true)
+}
+
+fn traffic(timer_bits: usize, buggy: bool) -> Model {
+    let mut n = Netlist::new();
+    let sensor = n.add_input("sensor");
+    // Phase encoding: 0 = A green, 1 = A yellow, 2 = B green, 3 = B yellow.
+    let p0 = n.add_latch("p0", LatchInit::Zero);
+    let p1 = n.add_latch("p1", LatchInit::Zero);
+    let timer: Vec<Signal> = (0..timer_bits)
+        .map(|i| n.add_latch(&format!("tm{i}"), LatchInit::Zero))
+        .collect();
+    let timer_max = n.and_many(&timer.to_vec());
+    let tick = n.bus_increment(&timer);
+    // Advance the phase when the timer saturates (and reset the timer).
+    let advance = timer_max;
+    for (i, &t) in timer.iter().enumerate() {
+        let next = n.mux(advance, Signal::FALSE, tick[i]);
+        n.set_next(t, next);
+    }
+    let in_p0 = n.and_many(&[!p0, !p1]); // A green
+    let in_p1 = n.and_many(&[p0, !p1]); // A yellow
+    // Phase counter increments on advance (wraps 3 -> 0).
+    let p0_next_normal = n.xor2(p0, advance);
+    let carry = n.and2(p0, advance);
+    let p1_next_normal = n.xor2(p1, carry);
+    let jump = if buggy {
+        // Bug: once the timer saturates, a sensor pulse in "A green" jumps
+        // straight to "B green" (phase 2), skipping the yellow interlock.
+        n.and_many(&[in_p0, sensor, timer_max])
+    } else {
+        Signal::FALSE
+    };
+    let p0_next = n.mux(jump, Signal::FALSE, p0_next_normal);
+    let p1_next = n.mux(jump, Signal::TRUE, p1_next_normal);
+    n.set_next(p0, p0_next);
+    n.set_next(p1, p1_next);
+    // Lights: A's light is set during "A green" and sticks until the yellow
+    // phase completes (the 1 -> 2 transition clears it). The buggy jump
+    // enters phase 2 without that clear, so both lights end up on together.
+    let a_light = n.add_latch("a_light", LatchInit::One);
+    let b_light = n.add_latch("b_light", LatchInit::Zero);
+    let clear_a = n.and2(in_p1, advance);
+    let a_on = n.or2(a_light, in_p0);
+    let a_next = n.mux(clear_a, Signal::FALSE, a_on);
+    n.set_next(a_light, a_next);
+    // B's light tracks "phase will be 2 next cycle".
+    let b_next = n.and2(!p0_next, p1_next);
+    n.set_next(b_light, b_next);
+    let bad = n.and2(a_light, b_light);
+    let name = format!("traffic{timer_bits}{}", if buggy { "_bug" } else { "" });
+    Model::new(&name, n, bad)
+}
+
+/// A Fibonacci LFSR from a non-zero seed; bad when it reaches `target`.
+/// With the all-zero target the property holds (the zero state is not
+/// reachable from a non-zero seed under a maximal-length feedback).
+pub fn lfsr(width: usize, taps: &[usize], target: u64) -> Model {
+    assert!(width >= 2 && taps.iter().all(|&t| t < width));
+    let mut n = Netlist::new();
+    let bits: Vec<Signal> = (0..width)
+        .map(|i| {
+            let init = if i == 0 { LatchInit::One } else { LatchInit::Zero };
+            n.add_latch(&format!("x{i}"), init)
+        })
+        .collect();
+    let feedback_bits: Vec<Signal> = taps.iter().map(|&t| bits[t]).collect();
+    let feedback = n.xor_many(&feedback_bits);
+    for i in 0..width {
+        let next = if i == 0 { feedback } else { bits[i - 1] };
+        n.set_next(bits[i], next);
+    }
+    let bad = n.bus_eq_const(&bits, target);
+    Model::new(&format!("lfsr{width}@{target}"), n, bad)
+}
+
+/// A bank-drifting twin checker: `banks` pairs of `width`-stage shift
+/// registers, all fed by the same input, but each bank only shifts while a
+/// rotating phase counter selects it; bad is "the *selected* bank's copies
+/// disagree". The property holds, but the UNSAT core rotates with the phase
+/// — at depth `k` it concentrates on bank `k mod banks` — so rankings
+/// learned from previous instances point at the *wrong* bank. This is the
+/// adversarial case for the static refinement that motivates the paper's
+/// dynamic fallback (§3.3).
+///
+/// # Panics
+///
+/// Panics unless `banks` is a power of two (the phase counter wraps
+/// naturally).
+pub fn drifting_twin(banks: usize, width: usize) -> Model {
+    assert!(banks.is_power_of_two() && banks >= 2, "banks must be a power of two");
+    let phase_bits = banks.trailing_zeros() as usize;
+    let mut n = Netlist::new();
+    let input = n.add_input("in");
+    let noise = n.add_input("noise");
+    let phase: Vec<Signal> = (0..phase_bits)
+        .map(|i| n.add_latch(&format!("ph{i}"), LatchInit::Zero))
+        .collect();
+    let tick = n.bus_increment(&phase);
+    for (&p, &t) in phase.iter().zip(&tick) {
+        n.set_next(p, t);
+    }
+    let mut mismatch_terms = Vec::with_capacity(banks);
+    for b in 0..banks {
+        let selected = n.bus_eq_const(&phase, b as u64);
+        // Unselected banks shift the noise input instead, so their contents
+        // stay input-dependent (not constant-foldable) but irrelevant.
+        let feed = n.mux(selected, input, noise);
+        let mut prev_a = feed;
+        let mut prev_c = feed;
+        let mut tap_a = feed;
+        let mut tap_c = feed;
+        for j in 0..width {
+            let a = n.add_latch(&format!("b{b}a{j}"), LatchInit::Zero);
+            let c = n.add_latch(&format!("b{b}c{j}"), LatchInit::Zero);
+            n.set_next(a, prev_a);
+            n.set_next(c, prev_c);
+            prev_a = a;
+            prev_c = c;
+            tap_a = a;
+            tap_c = c;
+        }
+        let diff = n.xor2(tap_a, tap_c);
+        mismatch_terms.push(n.and2(selected, diff));
+    }
+    let bad = n.or_many(&mismatch_terms);
+    Model::new(&format!("drift{banks}x{width}"), n, bad)
+}
+
+/// Builds "at least `k` of the signals are true" as a small sorting-free
+/// threshold circuit (sum of bits compared against `k`).
+fn at_least_k(n: &mut Netlist, signals: &[Signal], k: usize) -> Signal {
+    if k == 0 {
+        return Signal::TRUE;
+    }
+    if k > signals.len() {
+        return Signal::FALSE;
+    }
+    // Unary counter chain: count[j] = "at least j+1 true among prefix".
+    let mut at_least: Vec<Signal> = vec![Signal::FALSE; k];
+    for &s in signals {
+        let mut new = at_least.clone();
+        for j in (0..k).rev() {
+            let carry_in = if j == 0 { Signal::TRUE } else { at_least[j - 1] };
+            let gained = n.and2(s, carry_in);
+            new[j] = n.or2(at_least[j], gained);
+        }
+        at_least = new;
+    }
+    at_least[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_core::oracle::{check_reachable, OracleVerdict};
+
+    #[test]
+    fn gated_counter_fails_at_target() {
+        let model = gated_counter(4, 1, 9);
+        assert_eq!(check_reachable(&model, 15), OracleVerdict::FailsAt(9));
+    }
+
+    #[test]
+    fn gated_counter_step2_odd_target_holds() {
+        let model = gated_counter(4, 2, 9);
+        assert_eq!(check_reachable(&model, 20), OracleVerdict::HoldsUpTo(20));
+    }
+
+    #[test]
+    fn shift_all_ones_fails_at_width() {
+        let model = shift_all_ones(5);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::FailsAt(5));
+    }
+
+    #[test]
+    fn shift_twin_holds() {
+        let model = shift_twin(4);
+        assert_eq!(check_reachable(&model, 12), OracleVerdict::HoldsUpTo(12));
+    }
+
+    #[test]
+    fn token_ring_holds() {
+        let model = token_ring(5);
+        assert_eq!(check_reachable(&model, 12), OracleVerdict::HoldsUpTo(12));
+    }
+
+    #[test]
+    fn buggy_ring_fails_after_fuse() {
+        let model = token_ring_buggy(4, 2);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::FailsAt(3));
+    }
+
+    #[test]
+    fn guarded_fifo_holds() {
+        let model = fifo_guarded(2);
+        assert_eq!(check_reachable(&model, 14), OracleVerdict::HoldsUpTo(14));
+    }
+
+    #[test]
+    fn unguarded_fifo_overflows() {
+        let model = fifo_unguarded(2);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::FailsAt(5));
+    }
+
+    #[test]
+    fn lock_opens_at_code_length() {
+        let model = combination_lock(&[2, 0, 3, 1], 2);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::FailsAt(4));
+    }
+
+    #[test]
+    fn impossible_lock_holds() {
+        let model = combination_lock_impossible(&[2, 0, 3], 2);
+        assert_eq!(check_reachable(&model, 12), OracleVerdict::HoldsUpTo(12));
+    }
+
+    #[test]
+    fn tmr_single_fault_holds() {
+        let model = tmr_voter(2, 1);
+        assert_eq!(check_reachable(&model, 8), OracleVerdict::HoldsUpTo(8));
+    }
+
+    #[test]
+    fn tmr_double_fault_fails() {
+        let model = tmr_voter(2, 2);
+        assert!(matches!(
+            check_reachable(&model, 8),
+            OracleVerdict::FailsAt(_)
+        ));
+    }
+
+    #[test]
+    fn pipeline_emerges_at_depth() {
+        let model = pipeline_emerge(4);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::FailsAt(4));
+    }
+
+    #[test]
+    fn pipeline_ghost_holds() {
+        let model = pipeline_no_ghost(4);
+        assert_eq!(check_reachable(&model, 12), OracleVerdict::HoldsUpTo(12));
+    }
+
+    #[test]
+    fn binary_flip3_fails_at_three() {
+        // 3 bits flip first on 011 -> 100, i.e. when the counter is 3.
+        let model = binary_flips(5, 3);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::FailsAt(3));
+    }
+
+    #[test]
+    fn gray_flips_holds() {
+        let model = gray_flips(4);
+        assert_eq!(check_reachable(&model, 20), OracleVerdict::HoldsUpTo(20));
+    }
+
+    #[test]
+    fn traffic_interlock_holds() {
+        let model = traffic_interlock(2);
+        assert_eq!(check_reachable(&model, 16), OracleVerdict::HoldsUpTo(16));
+    }
+
+    #[test]
+    fn traffic_bug_fails() {
+        let model = traffic_buggy(2);
+        assert!(matches!(
+            check_reachable(&model, 16),
+            OracleVerdict::FailsAt(_)
+        ));
+    }
+
+    #[test]
+    fn lfsr_never_zero() {
+        let model = lfsr(4, &[3, 2], 0);
+        assert_eq!(check_reachable(&model, 20), OracleVerdict::HoldsUpTo(20));
+    }
+
+    #[test]
+    fn lfsr_reaches_some_state() {
+        // From seed 0001, two steps of x^4 + x^3 + 1 style feedback.
+        let model = lfsr(4, &[3, 2], 2);
+        assert!(matches!(
+            check_reachable(&model, 20),
+            OracleVerdict::FailsAt(_)
+        ));
+    }
+
+    #[test]
+    fn drifting_twin_holds() {
+        let model = drifting_twin(2, 2);
+        assert_eq!(check_reachable(&model, 10), OracleVerdict::HoldsUpTo(10));
+    }
+
+    #[test]
+    fn at_least_k_threshold() {
+        let mut n = Netlist::new();
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let th2 = at_least_k(&mut n, &[a, b, c], 2);
+        for bits in 0..8u8 {
+            let inputs = [bits & 1 == 1, bits & 2 != 0, bits & 4 != 0];
+            let vals = rbmc_circuit::sim::eval_frame(&n, &[], &inputs);
+            let count = inputs.iter().filter(|&&x| x).count();
+            assert_eq!(
+                rbmc_circuit::sim::read_signal(&vals, th2),
+                count >= 2,
+                "{inputs:?}"
+            );
+        }
+    }
+}

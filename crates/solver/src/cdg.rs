@@ -1,0 +1,151 @@
+//! The simplified Conflict Dependency Graph (paper §3.1).
+//!
+//! To extract an unsatisfiable core, every conflict clause must remember
+//! which clauses its resolution used. Chaff-style solvers periodically delete
+//! learned clauses, which would break that dependency chain — so, exactly as
+//! the paper proposes, we keep a *separate, simplified* CDG: each conflict
+//! clause is represented only by a pseudo-ID (an integer) and the list of
+//! antecedent pseudo-IDs. The clause database can then delete clause bodies
+//! freely; the CDG retains everything needed to identify the unsatisfiable
+//! core by a backward traversal from the final conflict.
+
+/// Pseudo-ID of a clause in the CDG. Original clauses use their formula
+/// index; conflict clauses get fresh IDs above the original range.
+pub(crate) type ClauseId = u32;
+
+/// The simplified conflict dependency graph.
+///
+/// Nodes are clause pseudo-IDs; the antecedent lists are the edges. The
+/// "empty clause" node of the paper's Fig. 2 is stored separately as
+/// `final_antecedents`.
+#[derive(Debug, Default)]
+pub(crate) struct Cdg {
+    /// Antecedent lists of *learned* clauses, indexed by
+    /// `id - num_original`. Original clauses are leaves (no antecedents).
+    antecedents: Vec<Vec<ClauseId>>,
+    /// Number of original clauses: ids below this bound are leaves.
+    num_original: u32,
+    /// Antecedents of the final (empty-clause) conflict, once UNSAT is
+    /// established.
+    final_antecedents: Option<Vec<ClauseId>>,
+    /// Total antecedent edges recorded (statistics only).
+    edges: u64,
+}
+
+impl Cdg {
+    /// Creates an empty CDG over `num_original` original clauses.
+    pub fn new(num_original: usize) -> Cdg {
+        Cdg {
+            antecedents: Vec::new(),
+            num_original: num_original as u32,
+            final_antecedents: None,
+            edges: 0,
+        }
+    }
+
+    /// Records a learned clause and returns its pseudo-ID.
+    pub fn record_learned(&mut self, antecedents: Vec<ClauseId>) -> ClauseId {
+        let id = self.num_original + self.antecedents.len() as u32;
+        self.edges += antecedents.len() as u64;
+        self.antecedents.push(antecedents);
+        id
+    }
+
+    /// Records the antecedents of the final conflict (the empty-clause node).
+    pub fn record_final(&mut self, antecedents: Vec<ClauseId>) {
+        self.edges += antecedents.len() as u64;
+        self.final_antecedents = Some(antecedents);
+    }
+
+    /// Returns true once the final conflict has been recorded.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn has_final(&self) -> bool {
+        self.final_antecedents.is_some()
+    }
+
+    /// Number of learned-clause nodes.
+    pub fn num_nodes(&self) -> u64 {
+        self.antecedents.len() as u64
+    }
+
+    /// Number of antecedent edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Traverses the CDG backward from the final conflict and returns the
+    /// sorted indices of the original clauses that are reachable — the
+    /// unsatisfiable core.
+    ///
+    /// Returns `None` if no final conflict was recorded (the instance was not
+    /// proved unsatisfiable, or CDG recording was disabled).
+    pub fn extract_core(&self) -> Option<Vec<usize>> {
+        let final_ants = self.final_antecedents.as_ref()?;
+        let mut core = Vec::new();
+        let mut seen_original = vec![false; self.num_original as usize];
+        let mut seen_learned = vec![false; self.antecedents.len()];
+        let mut stack: Vec<ClauseId> = final_ants.clone();
+        while let Some(id) = stack.pop() {
+            if id < self.num_original {
+                let idx = id as usize;
+                if !seen_original[idx] {
+                    seen_original[idx] = true;
+                    core.push(idx);
+                }
+            } else {
+                let idx = (id - self.num_original) as usize;
+                if !seen_learned[idx] {
+                    seen_learned[idx] = true;
+                    stack.extend_from_slice(&self.antecedents[idx]);
+                }
+            }
+        }
+        core.sort_unstable();
+        Some(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_of_direct_final_conflict() {
+        // Two original clauses resolve directly to the empty clause.
+        let mut cdg = Cdg::new(3);
+        cdg.record_final(vec![0, 2]);
+        assert_eq!(cdg.extract_core(), Some(vec![0, 2]));
+    }
+
+    #[test]
+    fn core_traverses_learned_chain() {
+        // originals: 0,1,2,3. learned 4 <- {0,1}; learned 5 <- {4,2};
+        // final <- {5}. Core = {0,1,2}; clause 3 is not involved.
+        let mut cdg = Cdg::new(4);
+        let l4 = cdg.record_learned(vec![0, 1]);
+        assert_eq!(l4, 4);
+        let l5 = cdg.record_learned(vec![l4, 2]);
+        cdg.record_final(vec![l5]);
+        assert_eq!(cdg.extract_core(), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn shared_antecedents_visited_once() {
+        let mut cdg = Cdg::new(2);
+        let a = cdg.record_learned(vec![0, 1]);
+        let b = cdg.record_learned(vec![a, 0]);
+        let c = cdg.record_learned(vec![a, b, 1]);
+        cdg.record_final(vec![b, c]);
+        assert_eq!(cdg.extract_core(), Some(vec![0, 1]));
+        assert_eq!(cdg.num_nodes(), 3);
+        assert_eq!(cdg.num_edges(), 2 + 2 + 3 + 2);
+    }
+
+    #[test]
+    fn no_final_no_core() {
+        let mut cdg = Cdg::new(2);
+        cdg.record_learned(vec![0]);
+        assert_eq!(cdg.extract_core(), None);
+        assert!(!cdg.has_final());
+    }
+}

@@ -1,0 +1,171 @@
+//! Trivial reference solvers used as test oracles.
+//!
+//! These are deliberately simple (no learning, no heuristics) so their
+//! correctness is evident by inspection; the test suites cross-check the CDCL
+//! solver against them on small random formulas.
+
+use rbmc_cnf::CnfFormula;
+
+/// Decides satisfiability by exhaustive enumeration.
+///
+/// Intended for formulas with at most ~20 variables; the cost is
+/// `O(2^num_vars · formula size)`.
+///
+/// # Panics
+///
+/// Panics if the formula has more than 26 variables (the enumeration would
+/// not terminate in reasonable time).
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::parse_dimacs;
+/// use rbmc_solver::brute_force_sat;
+///
+/// let f = parse_dimacs("p cnf 2 2\n1 0\n-1 0\n")?;
+/// assert_eq!(brute_force_sat(&f), None); // unsatisfiable
+/// # Ok::<(), rbmc_cnf::ParseDimacsError>(())
+/// ```
+pub fn brute_force_sat(formula: &CnfFormula) -> Option<Vec<bool>> {
+    let n = formula.num_vars();
+    assert!(n <= 26, "brute force limited to 26 variables, got {n}");
+    for bits in 0u64..(1u64 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if formula.evaluate(&assignment) == Some(true) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Decides satisfiability with a plain recursive DPLL (unit propagation +
+/// chronological backtracking, first-unassigned-variable branching).
+///
+/// Usable up to a few hundred variables on easy instances; used as a second,
+/// independent oracle.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::parse_dimacs;
+/// use rbmc_solver::reference_dpll;
+///
+/// let f = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// let model = reference_dpll(&f).expect("satisfiable");
+/// assert_eq!(f.evaluate(&model), Some(true));
+/// # Ok::<(), rbmc_cnf::ParseDimacsError>(())
+/// ```
+pub fn reference_dpll(formula: &CnfFormula) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; formula.num_vars()];
+    if dpll(formula, &mut assignment) {
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn dpll(formula: &CnfFormula, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to a fixed point.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in formula {
+            match clause.evaluate_partial(assignment) {
+                Some(true) => continue,
+                Some(false) => {
+                    for v in trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                None => {
+                    let mut free = clause
+                        .lits()
+                        .iter()
+                        .filter(|l| assignment[l.var().index()].is_none());
+                    let first = free.next().expect("undetermined clause has a free literal");
+                    if free.next().is_none() {
+                        let v = first.var().index();
+                        assignment[v] = Some(first.is_positive());
+                        trail.push(v);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Pick a branching variable.
+    let branch = (0..assignment.len()).find(|&v| assignment[v].is_none());
+    let result = match branch {
+        None => formula.evaluate_partial(assignment) == Some(true),
+        Some(v) => {
+            let mut ok = false;
+            for value in [true, false] {
+                assignment[v] = Some(value);
+                if dpll(formula, assignment) {
+                    ok = true;
+                    break;
+                }
+                assignment[v] = None;
+            }
+            ok
+        }
+    };
+    if !result {
+        for v in trail {
+            assignment[v] = None;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_cnf::parse_dimacs;
+
+    #[test]
+    fn brute_force_finds_model() {
+        let f = parse_dimacs("p cnf 3 3\n1 2 0\n-1 3 0\n-2 0\n").unwrap();
+        let m = brute_force_sat(&f).unwrap();
+        assert_eq!(f.evaluate(&m), Some(true));
+    }
+
+    #[test]
+    fn brute_force_detects_unsat() {
+        let f = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert!(brute_force_sat(&f).is_none());
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_small_formulas() {
+        let cases = [
+            "p cnf 3 4\n1 2 3 0\n-1 -2 0\n-2 -3 0\n-1 -3 0\n",
+            "p cnf 2 3\n1 2 0\n-1 2 0\n-2 0\n",
+            "p cnf 4 4\n1 2 0\n3 4 0\n-1 -3 0\n-2 -4 0\n",
+            "p cnf 0 0\n",
+        ];
+        for text in cases {
+            let f = parse_dimacs(text).unwrap();
+            let bf = brute_force_sat(&f).is_some();
+            let dp = reference_dpll(&f).is_some();
+            assert_eq!(bf, dp, "oracles disagree on {text:?}");
+        }
+    }
+
+    #[test]
+    fn dpll_model_is_valid() {
+        let f = parse_dimacs("p cnf 5 5\n1 2 0\n-2 3 0\n-3 4 0\n-4 5 0\n-5 -1 0\n").unwrap();
+        let m = reference_dpll(&f).unwrap();
+        assert_eq!(f.evaluate(&m), Some(true));
+    }
+
+    #[test]
+    fn dpll_empty_clause_unsat() {
+        let f = parse_dimacs("p cnf 1 1\n0\n").unwrap();
+        assert!(reference_dpll(&f).is_none());
+    }
+}

@@ -1,0 +1,1039 @@
+//! The CDCL solver: DLL search with watched-literal BCP, first-UIP learning,
+//! restarts, clause-database reduction, and CDG-based core extraction.
+
+use std::fmt;
+use std::time::Instant;
+
+use rbmc_cnf::{Clause, CnfFormula, Lit, Var};
+
+use crate::cdg::{Cdg, ClauseId};
+use crate::order::LitOrder;
+use crate::{LBool, Limits, OrderMode, SolverStats};
+
+/// Outcome of a solve call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (see [`Solver::model`]).
+    Sat,
+    /// The formula was proven unsatisfiable (see [`Solver::core_clauses`]).
+    Unsat,
+    /// A resource limit was hit before an answer was found; the search can be
+    /// resumed by calling [`Solver::solve_limited`] again.
+    Unknown,
+}
+
+/// Configuration of the solver.
+///
+/// The defaults replicate the paper's Chaff setup: literal-based VSIDS with
+/// periodic halving, restarts, learned-clause deletion, and CDG recording on
+/// (the refinement needs cores; disable it to measure the §3.1 overhead).
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_solver::{OrderMode, SolverOptions};
+///
+/// let opts = SolverOptions {
+///     order_mode: OrderMode::Dynamic { divisor: 64 },
+///     ..SolverOptions::default()
+/// };
+/// assert!(opts.record_cdg);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// How decisions combine `bmc_score` and `cha_score` (§3.3).
+    pub order_mode: OrderMode,
+    /// Record the simplified conflict dependency graph so an unsatisfiable
+    /// core can be extracted (§3.1). Costs a few percent of runtime.
+    pub record_cdg: bool,
+    /// Conflicts between `cha_score` halvings (Chaff updated periodically;
+    /// 256 is the conventional period).
+    pub halve_interval: u64,
+    /// Luby restart unit in conflicts; `0` disables restarts.
+    pub luby_unit: u64,
+    /// Enable periodic deletion of irrelevant learned clauses.
+    pub reduce_db: bool,
+    /// Learned clauses kept before the first reduction.
+    pub reduce_base: u64,
+    /// Additional learned clauses allowed after each reduction.
+    pub reduce_inc: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> SolverOptions {
+        SolverOptions {
+            order_mode: OrderMode::Standard,
+            record_cdg: true,
+            halve_interval: 256,
+            luby_unit: 128,
+            reduce_db: true,
+            reduce_base: 2000,
+            reduce_inc: 1000,
+        }
+    }
+}
+
+/// A watch list entry: the watching clause and a blocker literal whose truth
+/// lets BCP skip the clause without touching its body.
+#[derive(Clone, Copy, Debug)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// A stored clause. Original clauses keep their bodies forever; learned
+/// clauses may have their bodies deleted by database reduction (the CDG
+/// retains their pseudo-IDs).
+#[derive(Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learned: bool,
+    deleted: bool,
+    /// Skipped entirely (contains both phases of a variable). Recorded for
+    /// diagnostics; tautologies are never watched and never enter cores.
+    #[allow(dead_code)]
+    tautology: bool,
+    /// Times used as an antecedent in conflict analysis (for reduction).
+    activity: u32,
+}
+
+/// A Chaff-style CDCL SAT solver (see the crate docs for the feature list).
+///
+/// # Examples
+///
+/// Finding a model:
+///
+/// ```
+/// use rbmc_cnf::{CnfFormula, Lit};
+/// use rbmc_solver::{SolveResult, Solver};
+///
+/// let mut f = CnfFormula::new();
+/// let x = f.new_var();
+/// let y = f.new_var();
+/// f.add_clause([x.positive(), y.positive()]);
+/// f.add_clause([x.negative()]);
+/// let mut solver = Solver::from_formula(&f);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// let model = solver.model().expect("model after SAT");
+/// assert!(!model[x.index()] && model[y.index()]);
+/// ```
+pub struct Solver {
+    opts: SolverOptions,
+    clauses: Vec<ClauseData>,
+    /// Clauses `0..num_original` are the input formula (ids match input
+    /// order); the rest are learned.
+    num_original: usize,
+    /// Total literal occurrences in the original formula — the paper's
+    /// "number of original literals" used by the dynamic switch.
+    num_original_lits: u64,
+    watches: Vec<Vec<Watch>>,
+    values: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<u32>>,
+    /// CDG node standing for the level-0 unit fact of a variable.
+    unit_node: Vec<Option<ClauseId>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    order: LitOrder,
+    cdg: Cdg,
+    /// CDG pseudo-ID of each stored clause (original ids coincide with their
+    /// input position; learned clauses get fresh ids, interleaved with the
+    /// virtual unit-fact nodes). Only maintained when `record_cdg` is on.
+    cdg_ids: Vec<ClauseId>,
+    stats: SolverStats,
+    /// Ranking installed by [`Solver::set_var_ranking`], applied at setup.
+    bmc_scores: Vec<u64>,
+    /// Pending unit original clauses, enqueued at setup.
+    pending_units: Vec<u32>,
+    /// An empty original clause, if one was added.
+    empty_clause: Option<u32>,
+    result: Option<SolveResult>,
+    model: Option<Vec<bool>>,
+    core: Option<Vec<usize>>,
+    started: bool,
+    /// Dynamic mode has fallen back to pure VSIDS.
+    switched: bool,
+    conflicts_at_last_halve: u64,
+    conflicts_at_restart: u64,
+    restart_number: u64,
+    live_learned: u64,
+    reduce_threshold: u64,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars())
+            .field("num_original", &self.num_original)
+            .field("result", &self.result)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default options.
+    pub fn new() -> Solver {
+        Solver::with_options(SolverOptions::default())
+    }
+
+    /// Creates an empty solver with the given options.
+    pub fn with_options(opts: SolverOptions) -> Solver {
+        Solver {
+            opts,
+            clauses: Vec::new(),
+            num_original: 0,
+            num_original_lits: 0,
+            watches: Vec::new(),
+            values: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            unit_node: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            order: LitOrder::new(0),
+            cdg: Cdg::new(0),
+            cdg_ids: Vec::new(),
+            stats: SolverStats::new(),
+            bmc_scores: Vec::new(),
+            pending_units: Vec::new(),
+            empty_clause: None,
+            result: None,
+            model: None,
+            core: None,
+            started: false,
+            switched: false,
+            conflicts_at_last_halve: 0,
+            conflicts_at_restart: 0,
+            restart_number: 0,
+            live_learned: 0,
+            reduce_threshold: opts.reduce_base,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Creates a solver loaded with `formula` (default options).
+    pub fn from_formula(formula: &CnfFormula) -> Solver {
+        Solver::from_formula_with(formula, SolverOptions::default())
+    }
+
+    /// Creates a solver loaded with `formula` and the given options.
+    pub fn from_formula_with(formula: &CnfFormula, opts: SolverOptions) -> Solver {
+        let mut solver = Solver::with_options(opts);
+        solver.reserve_vars(formula.num_vars());
+        for clause in formula {
+            solver.add_clause(clause.lits());
+        }
+        solver
+    }
+
+    /// Ensures the solver knows about variables `0..num_vars`.
+    pub fn reserve_vars(&mut self, num_vars: usize) {
+        if num_vars <= self.values.len() {
+            return;
+        }
+        self.values.resize(num_vars, LBool::Undef);
+        self.levels.resize(num_vars, 0);
+        self.reasons.resize(num_vars, None);
+        self.unit_node.resize(num_vars, None);
+        self.seen.resize(num_vars, false);
+        self.watches.resize(2 * num_vars, Vec::new());
+        self.order.grow(num_vars);
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of original (input) clauses.
+    pub fn num_original_clauses(&self) -> usize {
+        self.num_original
+    }
+
+    /// Total literal occurrences over the original clauses (the paper's
+    /// `#original literals`, the base of the dynamic-switch threshold).
+    pub fn num_original_literals(&self) -> u64 {
+        self.num_original_lits
+    }
+
+    /// The options this solver was built with.
+    pub fn options(&self) -> &SolverOptions {
+        &self.opts
+    }
+
+    /// Adds an original clause. The clause's ID for core reporting is its
+    /// 0-based position in the order of `add_clause` calls.
+    ///
+    /// Duplicate literals are removed internally; a clause containing both
+    /// phases of a variable is stored but ignored by the search (it is a
+    /// tautology and can never be part of an unsatisfiable core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first solve call (this solver refines a
+    /// single instance; BMC creates a fresh solver per unrolling depth).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        assert!(
+            !self.started,
+            "clauses must be added before the first solve call"
+        );
+        let cref = self.clauses.len() as u32;
+        // The raw literal count feeds both the initial cha_score and the
+        // dynamic-switch threshold.
+        self.num_original_lits += lits.len() as u64;
+        let max_var = lits.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
+        self.reserve_vars(max_var);
+        for &lit in lits {
+            self.order.add_initial_count(lit, 1);
+        }
+
+        let clause = Clause::new(lits.to_vec());
+        let (stored, tautology) = match clause.normalized() {
+            None => (Vec::new(), true),
+            Some(n) => (n.into_lits(), false),
+        };
+        if !tautology {
+            match stored.len() {
+                0 => {
+                    self.empty_clause.get_or_insert(cref);
+                }
+                1 => self.pending_units.push(cref),
+                _ => {
+                    self.watch(stored[0], cref, stored[1]);
+                    self.watch(stored[1], cref, stored[0]);
+                }
+            }
+        }
+        self.clauses.push(ClauseData {
+            lits: stored,
+            learned: false,
+            deleted: false,
+            tautology,
+            activity: 0,
+        });
+        self.num_original = self.clauses.len();
+    }
+
+    /// Installs the per-variable `bmc_score` ranking (§3.2). Scores default
+    /// to zero for variables beyond the end of `scores`. The ranking matters
+    /// only when [`SolverOptions::order_mode`] is static or dynamic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the first solve call.
+    pub fn set_var_ranking(&mut self, scores: &[u64]) {
+        assert!(
+            !self.started,
+            "the ranking must be installed before solving"
+        );
+        self.bmc_scores = scores.to_vec();
+    }
+
+    /// Solves without limits.
+    ///
+    /// # Panics
+    ///
+    /// Never returns [`SolveResult::Unknown`]; panics if it would (cannot
+    /// happen without limits).
+    pub fn solve(&mut self) -> SolveResult {
+        let result = self.solve_limited(&Limits::default());
+        assert_ne!(result, SolveResult::Unknown, "unlimited solve cannot time out");
+        result
+    }
+
+    /// Solves under resource limits. Returns [`SolveResult::Unknown`] when a
+    /// limit is exceeded; calling again (with fresh limits) resumes the
+    /// search from where it stopped.
+    pub fn solve_limited(&mut self, limits: &Limits) -> SolveResult {
+        if let Some(result) = self.result {
+            return result;
+        }
+        let base_conflicts = self.stats.conflicts;
+        let base_decisions = self.stats.decisions;
+        let base_propagations = self.stats.propagations;
+
+        if !self.started {
+            self.started = true;
+            self.cdg = Cdg::new(self.num_original);
+            if self.opts.record_cdg {
+                // Original clause ids coincide with their CDG leaf ids.
+                self.cdg_ids = (0..self.num_original as u32).collect();
+            }
+            if let Some(empty) = self.empty_clause {
+                self.finish_unsat(vec![empty]);
+                return SolveResult::Unsat;
+            }
+            let use_bmc = !matches!(self.opts.order_mode, OrderMode::Standard);
+            let scores = std::mem::take(&mut self.bmc_scores);
+            self.order.set_bmc_scores(&scores, use_bmc);
+            self.bmc_scores = scores;
+            self.order.rebuild(&self.values);
+            // Enqueue the input unit clauses at level 0.
+            for i in 0..self.pending_units.len() {
+                let cref = self.pending_units[i];
+                let lit = self.clauses[cref as usize].lits[0];
+                match self.values[lit.var().index()].xor(lit.is_negative()) {
+                    LBool::Undef => self.enqueue(lit, Some(cref)),
+                    LBool::True => {}
+                    LBool::False => {
+                        self.record_conflict_clause_final(cref);
+                        return SolveResult::Unsat;
+                    }
+                }
+            }
+        }
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.record_conflict_clause_final(conflict);
+                    return SolveResult::Unsat;
+                }
+                self.handle_conflict(conflict);
+                self.after_conflict_housekeeping();
+                if self.limit_exceeded(limits, base_conflicts, base_decisions, base_propagations) {
+                    return SolveResult::Unknown;
+                }
+            } else {
+                self.maybe_switch_to_vsids();
+                if self.limit_exceeded(limits, base_conflicts, base_decisions, base_propagations) {
+                    return SolveResult::Unknown;
+                }
+                match self.order.pop_best(&self.values) {
+                    Some(lit) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, None);
+                    }
+                    None => {
+                        self.finish_sat();
+                        return SolveResult::Sat;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The satisfying assignment, if the last solve returned SAT.
+    /// `model()[v]` is the value of variable `v`.
+    pub fn model(&self) -> Option<&[bool]> {
+        self.model.as_deref()
+    }
+
+    /// The unsatisfiable core, if the last solve returned UNSAT and CDG
+    /// recording was enabled: sorted IDs (input positions) of the original
+    /// clauses responsible for the final conflict (§3.1).
+    pub fn core_clauses(&self) -> Option<&[usize]> {
+        self.core.as_deref()
+    }
+
+    /// The variables appearing in the unsatisfiable core (§3.2 feeds these
+    /// into `update_ranking`). Sorted, no duplicates.
+    pub fn core_vars(&self) -> Option<Vec<Var>> {
+        let core = self.core.as_ref()?;
+        let mut seen = vec![false; self.num_vars()];
+        for &ci in core {
+            for lit in &self.clauses[ci].lits {
+                seen[lit.var().index()] = true;
+            }
+        }
+        Some(
+            seen.iter()
+                .enumerate()
+                .filter(|&(_, &s)| s)
+                .map(|(i, _)| Var::new(i))
+                .collect(),
+        )
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The result of the last solve call, if any.
+    pub fn result(&self) -> Option<SolveResult> {
+        self.result
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> LBool {
+        self.values[lit.var().index()].xor(lit.is_negative())
+    }
+
+    fn watch(&mut self, lit: Lit, clause: u32, blocker: Lit) {
+        self.watches[lit.code()].push(Watch { clause, blocker });
+    }
+
+    /// Assigns `lit` true at the current level with the given reason clause.
+    ///
+    /// At level 0 this also materializes the literal's unit node in the CDG
+    /// so later proofs can cite the fact (see module docs of `cdg`).
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+        let v = lit.var().index();
+        debug_assert!(self.values[v].is_undef());
+        self.values[v] = LBool::from(lit.is_positive());
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.trail.push(lit);
+        if reason.is_some() {
+            self.stats.propagations += 1;
+        }
+        if self.opts.record_cdg && self.decision_level() == 0 {
+            let reason = reason.expect("level-0 assignments are always implied");
+            let mut ants = vec![self.cdg_ids[reason as usize]];
+            // Clone to appease the borrow checker; level-0 reasons are short.
+            let reason_lits = self.clauses[reason as usize].lits.clone();
+            for other in reason_lits {
+                if other.var() != lit.var() {
+                    let node = self.unit_node[other.var().index()]
+                        .expect("supporting level-0 fact was recorded earlier");
+                    ants.push(node);
+                }
+            }
+            let node = self.cdg.record_learned(ants);
+            self.unit_node[v] = Some(node);
+        }
+    }
+
+    /// Watched-literal BCP. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                // A true blocker satisfies the clause.
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.clause as usize;
+                if self.clauses[cref].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Put the false literal in slot 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                for k in 2..self.clauses[cref].lits.len() {
+                    let candidate = self.clauses[cref].lits[k];
+                    if self.lit_value(candidate) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[candidate.code()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // No replacement: unit or conflict on `first`.
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, Some(w.clause));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis, clause learning, and backjumping.
+    fn handle_conflict(&mut self, conflict: u32) {
+        let current_level = self.decision_level();
+        let mut antecedents: Vec<ClauseId> = Vec::new();
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot 0 = asserting literal
+        let mut path_count = 0usize;
+        let mut index = self.trail.len();
+        let mut confl = conflict;
+        let mut resolve_lit: Option<Lit> = None;
+
+        loop {
+            if self.opts.record_cdg {
+                antecedents.push(self.cdg_ids[confl as usize]);
+            }
+            self.clauses[confl as usize].activity = self.clauses[confl as usize]
+                .activity
+                .saturating_add(1);
+            // The clause body is present: reasons of assigned literals and the
+            // conflicting clause are never deleted (locked or just used).
+            for j in 0..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[j];
+                if Some(q) == resolve_lit {
+                    continue;
+                }
+                let v = q.var().index();
+                if self.seen[v] {
+                    continue;
+                }
+                if self.levels[v] == 0 {
+                    // Dropping a root-level literal: cite its unit fact so the
+                    // CDG still derives the learned clause by pure resolution.
+                    if self.opts.record_cdg {
+                        let node =
+                            self.unit_node[v].expect("root-level assignment has a unit node");
+                        antecedents.push(node);
+                    }
+                    continue;
+                }
+                self.seen[v] = true;
+                if self.levels[v] == current_level {
+                    path_count += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Next seen literal on the trail (at the current level).
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let l = self.trail[index];
+            self.seen[l.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !l;
+                break;
+            }
+            confl = self.reasons[l.var().index()]
+                .expect("implied literal at the conflict level has a reason");
+            resolve_lit = Some(l);
+        }
+        for lit in &learnt[1..] {
+            self.seen[lit.var().index()] = false;
+        }
+
+        // Backjump level: highest level among the non-asserting literals.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var().index()]
+        };
+        self.backtrack(backtrack_level);
+
+        // Store the learned clause, watch it, propagate its asserting literal.
+        let cref = self.clauses.len() as u32;
+        self.stats.learned += 1;
+        self.stats.learned_literals += learnt.len() as u64;
+        self.live_learned += 1;
+        self.order.on_learned_clause(&learnt);
+        if self.opts.record_cdg {
+            let id = self.cdg.record_learned(antecedents);
+            self.cdg_ids.push(id);
+            self.stats.cdg_nodes = self.cdg.num_nodes();
+            self.stats.cdg_edges = self.cdg.num_edges();
+        }
+        if learnt.len() >= 2 {
+            self.watch(learnt[0], cref, learnt[1]);
+            self.watch(learnt[1], cref, learnt[0]);
+        }
+        let asserting = learnt[0];
+        self.clauses.push(ClauseData {
+            lits: learnt,
+            learned: true,
+            deleted: false,
+            tautology: false,
+            activity: 1,
+        });
+        self.enqueue(asserting, Some(cref));
+    }
+
+    /// Undoes all assignments above `level`.
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let new_len = self.trail_lim[level as usize];
+        for i in (new_len..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.values[v.index()] = LBool::Undef;
+            self.reasons[v.index()] = None;
+            self.order.reinsert_var(v);
+        }
+        self.trail.truncate(new_len);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = new_len;
+    }
+
+    /// Periodic work after each conflict: score halving, restarts, clause
+    /// database reduction.
+    fn after_conflict_housekeeping(&mut self) {
+        if self.stats.conflicts - self.conflicts_at_last_halve >= self.opts.halve_interval {
+            self.conflicts_at_last_halve = self.stats.conflicts;
+            self.order.halve_scores();
+            self.order.rebuild(&self.values);
+            self.stats.score_halvings += 1;
+        }
+        if self.opts.luby_unit > 0 {
+            let budget = luby(self.restart_number) * self.opts.luby_unit;
+            if self.stats.conflicts - self.conflicts_at_restart >= budget {
+                self.restart_number += 1;
+                self.conflicts_at_restart = self.stats.conflicts;
+                self.stats.restarts += 1;
+                self.backtrack(0);
+            }
+        }
+        if self.opts.reduce_db && self.live_learned >= self.reduce_threshold {
+            self.reduce_learned_db();
+            self.reduce_threshold += self.opts.reduce_inc;
+        }
+    }
+
+    /// Deletes the less relevant half of the learned clauses (by activity,
+    /// then recency). Locked clauses (reasons of current assignments) and
+    /// short clauses are kept. Bodies are freed; CDG pseudo-IDs survive.
+    fn reduce_learned_db(&mut self) {
+        let mut candidates: Vec<(u32, u32)> = Vec::new(); // (activity, cref)
+        for (i, c) in self.clauses.iter().enumerate().skip(self.num_original) {
+            if c.deleted || !c.learned || c.lits.len() <= 2 {
+                continue;
+            }
+            if self.is_locked(i as u32) {
+                continue;
+            }
+            candidates.push((c.activity, i as u32));
+        }
+        candidates.sort_unstable();
+        let to_delete = candidates.len() / 2;
+        for &(_, cref) in candidates.iter().take(to_delete) {
+            let c = &mut self.clauses[cref as usize];
+            c.deleted = true;
+            c.lits = Vec::new();
+            c.activity = 0;
+            self.live_learned -= 1;
+            self.stats.deleted += 1;
+        }
+        // Halve activities so future reductions favour recent relevance.
+        for c in self.clauses.iter_mut().skip(self.num_original) {
+            c.activity /= 2;
+        }
+    }
+
+    /// A clause is locked while it is the reason of its asserting literal.
+    fn is_locked(&self, cref: u32) -> bool {
+        let c = &self.clauses[cref as usize];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let first = c.lits[0];
+        self.lit_value(first) == LBool::True
+            && self.reasons[first.var().index()] == Some(cref)
+    }
+
+    /// Dynamic configuration: fall back to pure VSIDS once the decision count
+    /// betrays an inaccurate estimation (§3.3).
+    fn maybe_switch_to_vsids(&mut self) {
+        if self.switched || !self.order.uses_bmc() {
+            return;
+        }
+        if let OrderMode::Dynamic { divisor } = self.opts.order_mode {
+            if self.stats.decisions > self.num_original_lits / u64::from(divisor.max(1)) {
+                self.switched = true;
+                self.stats.switched_to_vsids = true;
+                self.order.disable_bmc();
+                self.order.rebuild(&self.values);
+            }
+        }
+    }
+
+    fn limit_exceeded(
+        &self,
+        limits: &Limits,
+        base_conflicts: u64,
+        base_decisions: u64,
+        base_propagations: u64,
+    ) -> bool {
+        if let Some(n) = limits.max_conflicts {
+            if self.stats.conflicts - base_conflicts >= n {
+                return true;
+            }
+        }
+        if let Some(n) = limits.max_decisions {
+            if self.stats.decisions - base_decisions >= n {
+                return true;
+            }
+        }
+        if let Some(n) = limits.max_propagations {
+            if self.stats.propagations - base_propagations >= n {
+                return true;
+            }
+        }
+        if let Some(deadline) = limits.deadline {
+            // Coarse check: only every 64 conflicts to keep `Instant::now`
+            // off the hot path.
+            if (self.stats.conflicts - base_conflicts) % 64 == 0 && Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish_sat(&mut self) {
+        let model = self
+            .values
+            .iter()
+            .map(|v| v.to_bool().expect("SAT leaves no variable unassigned"))
+            .collect();
+        self.model = Some(model);
+        self.result = Some(SolveResult::Sat);
+    }
+
+    /// Records the final (empty-clause) conflict: the conflicting clause plus
+    /// the root-level unit facts of each of its literals, then extracts the
+    /// core.
+    fn record_conflict_clause_final(&mut self, conflict: u32) {
+        if self.opts.record_cdg {
+            let mut ants = vec![self.cdg_ids[conflict as usize]];
+            for lit in &self.clauses[conflict as usize].lits {
+                if let Some(node) = self.unit_node[lit.var().index()] {
+                    ants.push(node);
+                }
+            }
+            self.finish_unsat(ants);
+        } else {
+            self.result = Some(SolveResult::Unsat);
+        }
+    }
+
+    fn finish_unsat(&mut self, final_antecedents: Vec<ClauseId>) {
+        if self.opts.record_cdg {
+            self.cdg.record_final(final_antecedents);
+            self.core = self.cdg.extract_core();
+            self.stats.cdg_nodes = self.cdg.num_nodes();
+            self.stats.cdg_edges = self.cdg.num_edges();
+        }
+        self.result = Some(SolveResult::Unsat);
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+/// (`x` is the 0-based restart number).
+fn luby(x: u64) -> u64 {
+    // Find the finite subsequence that contains index x and its size.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_cnf::parse_dimacs;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn solve_text(text: &str) -> (SolveResult, Solver) {
+        let f = parse_dimacs(text).unwrap();
+        let mut s = Solver::from_formula(&f);
+        let r = s.solve();
+        (r, s)
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let (r, s) = solve_text("p cnf 0 0\n");
+        assert_eq!(r, SolveResult::Sat);
+        assert_eq!(s.model().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let (r, s) = solve_text("p cnf 1 1\n-1 0\n");
+        assert_eq!(r, SolveResult::Sat);
+        assert_eq!(s.model().unwrap(), &[false]);
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat_with_exact_core() {
+        let (r, s) = solve_text("p cnf 2 3\n1 0\n-1 0\n2 0\n");
+        assert_eq!(r, SolveResult::Unsat);
+        // Clause 2 (x2) is irrelevant: the core is exactly the two units.
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1]);
+        assert_eq!(s.core_vars().unwrap(), vec![Var::new(0)]);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let (r, s) = solve_text("p cnf 1 2\n1 0\n0\n");
+        assert_eq!(r, SolveResult::Unsat);
+        assert_eq!(s.core_clauses().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn simple_propagation_chain_unsat() {
+        // x1, x1->x2, x2->x3, ¬x3: UNSAT involving all four clauses.
+        let (r, s) = solve_text("p cnf 3 4\n1 0\n-1 2 0\n-2 3 0\n-3 0\n");
+        assert_eq!(r, SolveResult::Unsat);
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sat_model_satisfies_formula() {
+        let text = "p cnf 4 5\n1 2 0\n-1 3 0\n-2 -3 0\n3 4 0\n-4 1 0\n";
+        let f = parse_dimacs(text).unwrap();
+        let (r, s) = solve_text(text);
+        assert_eq!(r, SolveResult::Sat);
+        assert_eq!(f.evaluate(s.model().unwrap()), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_two_pigeons_one_hole() {
+        // p1 in hole, p2 in hole, not both: UNSAT.
+        let (r, s) = solve_text("p cnf 2 3\n1 0\n2 0\n-1 -2 0\n");
+        assert_eq!(r, SolveResult::Unsat);
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn unsat_needs_search() {
+        // All eight clauses over three variables: classically UNSAT and
+        // requires actual conflict-driven search.
+        let text = "p cnf 3 8\n1 2 3 0\n1 2 -3 0\n1 -2 3 0\n1 -2 -3 0\n\
+                    -1 2 3 0\n-1 2 -3 0\n-1 -2 3 0\n-1 -2 -3 0\n";
+        let (r, s) = solve_text(text);
+        assert_eq!(r, SolveResult::Unsat);
+        let core = s.core_clauses().unwrap();
+        assert!(!core.is_empty());
+        // The core must itself be UNSAT.
+        let f = parse_dimacs(text).unwrap();
+        let sub = f.subformula(core);
+        let mut s2 = Solver::from_formula(&sub);
+        assert_eq!(s2.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn decision_limit_reports_unknown_and_resumes() {
+        // A formula that needs at least a couple of decisions.
+        let text = "p cnf 6 4\n1 2 0\n3 4 0\n5 6 0\n-1 -3 0\n";
+        let f = parse_dimacs(text).unwrap();
+        let mut s = Solver::from_formula(&f);
+        let r = s.solve_limited(&Limits::new().with_max_decisions(1));
+        assert_eq!(r, SolveResult::Unknown);
+        // Resuming without limits finishes the job.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(f.evaluate(s.model().unwrap()), Some(true));
+    }
+
+    #[test]
+    fn tautology_never_in_core() {
+        let (r, s) = solve_text("p cnf 2 4\n1 -1 0\n2 0\n-2 0\n1 0\n");
+        assert_eq!(r, SolveResult::Unsat);
+        assert_eq!(s.core_clauses().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn duplicate_literals_are_handled() {
+        let (r, s) = solve_text("p cnf 1 2\n1 1 0\n-1 -1 0\n");
+        assert_eq!(r, SolveResult::Unsat);
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn static_order_decides_ranked_vars_first() {
+        // SAT formula; ranked variable should be the first decision.
+        let f = parse_dimacs("p cnf 4 2\n1 2 0\n3 4 0\n").unwrap();
+        let mut s = Solver::from_formula_with(
+            &f,
+            SolverOptions {
+                order_mode: OrderMode::Static,
+                ..SolverOptions::default()
+            },
+        );
+        s.set_var_ranking(&[0, 0, 0, 7]); // rank x4 highest
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().unwrap();
+        // x4 was decided first; its positive literal was chosen, so true.
+        assert!(model[3]);
+    }
+
+    #[test]
+    fn cached_result_is_returned() {
+        let (r, mut s) = solve_text("p cnf 1 1\n1 0\n");
+        assert_eq!(r, SolveResult::Sat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.result(), Some(SolveResult::Sat));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first solve")]
+    fn adding_clause_after_solve_panics() {
+        let (_, mut s) = solve_text("p cnf 1 1\n1 0\n");
+        s.add_clause(&[lit(-1)]);
+    }
+
+    #[test]
+    fn stats_count_decisions_and_propagations() {
+        let (_, s) = solve_text("p cnf 3 3\n1 2 0\n-1 3 0\n-3 -2 0\n");
+        let stats = s.stats();
+        assert!(stats.decisions >= 1);
+        // At least the implied assignments were counted.
+        assert!(stats.decisions + stats.propagations >= 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Search statistics.
+
+/// Counters collected during a solve.
+///
+/// `decisions` and `propagations` correspond to the paper's
+/// "Number of Decisions" and "Number of Implications" (Fig. 7); the size of
+/// the search tree is proportional to `decisions`.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::parse_dimacs;
+/// use rbmc_solver::Solver;
+///
+/// let f = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")?;
+/// let mut solver = Solver::from_formula(&f);
+/// solver.solve();
+/// assert!(solver.stats().propagations >= 1);
+/// # Ok::<(), rbmc_cnf::ParseDimacsError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions made (paper: number of decisions; Fig. 7 left).
+    pub decisions: u64,
+    /// Number of implied assignments made by BCP (paper: implications;
+    /// Fig. 7 right).
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned (conflict) clauses added.
+    pub learned: u64,
+    /// Number of learned clauses whose bodies were deleted by clause-database
+    /// reduction. Their CDG pseudo-IDs survive (§3.1).
+    pub deleted: u64,
+    /// Number of literals in all learned clauses (for overhead accounting).
+    pub learned_literals: u64,
+    /// Number of VSIDS halving rounds applied to `cha_score`.
+    pub score_halvings: u64,
+    /// True if the dynamic configuration gave up on the refined ordering and
+    /// switched back to pure VSIDS (§3.3).
+    pub switched_to_vsids: bool,
+    /// Number of nodes recorded in the simplified conflict dependency graph.
+    pub cdg_nodes: u64,
+    /// Number of antecedent edges recorded in the simplified CDG.
+    pub cdg_edges: u64,
+}
+
+impl SolverStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> SolverStats {
+        SolverStats::default()
+    }
+
+    /// Adds the counters of `other` into `self` (used to accumulate per-depth
+    /// statistics over a whole BMC run). `switched_to_vsids` is OR-ed.
+    pub fn accumulate(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+        self.deleted += other.deleted;
+        self.learned_literals += other.learned_literals;
+        self.score_halvings += other.score_halvings;
+        self.switched_to_vsids |= other.switched_to_vsids;
+        self.cdg_nodes += other.cdg_nodes;
+        self.cdg_edges += other.cdg_edges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_counters() {
+        let mut a = SolverStats {
+            decisions: 3,
+            propagations: 10,
+            conflicts: 1,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            decisions: 2,
+            propagations: 5,
+            switched_to_vsids: true,
+            ..SolverStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.decisions, 5);
+        assert_eq!(a.propagations, 15);
+        assert_eq!(a.conflicts, 1);
+        assert!(a.switched_to_vsids);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cross-validation of the CDCL solver against the reference oracles on
+//! random formulas, across all ordering modes and housekeeping settings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rbmc_cnf::{CnfFormula, Lit, Var};
+use rbmc_solver::{
+    brute_force_sat, reference_dpll, OrderMode, SolveResult, Solver, SolverOptions,
+};
+
+/// Random k-SAT formula with `num_clauses` clauses over `num_vars` variables.
+fn random_ksat(rng: &mut StdRng, num_vars: usize, num_clauses: usize, k: usize) -> CnfFormula {
+    let mut f = CnfFormula::with_vars(num_vars);
+    for _ in 0..num_clauses {
+        let len = 1 + rng.gen_range(0..k);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::new(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        f.add_clause(lits);
+    }
+    f
+}
+
+fn stress_options() -> Vec<SolverOptions> {
+    vec![
+        SolverOptions::default(),
+        // No restarts, no deletion: the plain search.
+        SolverOptions {
+            luby_unit: 0,
+            reduce_db: false,
+            ..SolverOptions::default()
+        },
+        // Restart every conflict: stress the restart path.
+        SolverOptions {
+            luby_unit: 1,
+            ..SolverOptions::default()
+        },
+        // Halve scores every conflict: stress heap rebuilds.
+        SolverOptions {
+            halve_interval: 1,
+            ..SolverOptions::default()
+        },
+        // Aggressive clause deletion: stress CDG survival.
+        SolverOptions {
+            reduce_base: 2,
+            reduce_inc: 1,
+            ..SolverOptions::default()
+        },
+        // CDG off (no core, but verdicts must match).
+        SolverOptions {
+            record_cdg: false,
+            ..SolverOptions::default()
+        },
+    ]
+}
+
+/// Solves `f` and cross-checks the verdict, the model, and the core.
+fn check_formula(f: &CnfFormula, opts: SolverOptions, expected_sat: bool) {
+    let mut solver = Solver::from_formula_with(f, opts);
+    let result = solver.solve();
+    match result {
+        SolveResult::Sat => {
+            assert!(expected_sat, "solver said SAT, oracle said UNSAT: {f}");
+            let model = solver.model().expect("model after SAT");
+            assert_eq!(f.evaluate(model), Some(true), "model does not satisfy {f}");
+        }
+        SolveResult::Unsat => {
+            assert!(!expected_sat, "solver said UNSAT, oracle said SAT: {f}");
+            if opts.record_cdg {
+                let core = solver.core_clauses().expect("core after UNSAT");
+                assert!(!core.is_empty());
+                // The core must itself be unsatisfiable.
+                let sub = f.subformula(core);
+                assert!(
+                    brute_force_sat(&sub).is_none(),
+                    "extracted core is satisfiable: {f} core {core:?}"
+                );
+            }
+        }
+        SolveResult::Unknown => panic!("unlimited solve returned Unknown"),
+    }
+}
+
+#[test]
+fn random_3sat_small_vs_brute_force_all_option_sets() {
+    let mut rng = StdRng::seed_from_u64(0xDAC_2004);
+    for round in 0..120 {
+        let num_vars = 2 + rng.gen_range(0..8);
+        // Around the 3-SAT phase transition to get a mix of SAT/UNSAT.
+        let num_clauses = (num_vars as f64 * 4.3) as usize + rng.gen_range(0..4);
+        let f = random_ksat(&mut rng, num_vars, num_clauses, 3);
+        let expected = brute_force_sat(&f).is_some();
+        for opts in stress_options() {
+            check_formula(&f, opts, expected);
+        }
+        let _ = round;
+    }
+}
+
+#[test]
+fn random_3sat_medium_vs_dpll() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..25 {
+        let num_vars = 10 + rng.gen_range(0..15);
+        let num_clauses = (num_vars as f64 * 4.2) as usize;
+        let f = random_ksat(&mut rng, num_vars, num_clauses, 3);
+        let expected = reference_dpll(&f).is_some();
+        check_formula(&f, SolverOptions::default(), expected);
+    }
+}
+
+#[test]
+fn random_mixed_width_formulas() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..60 {
+        let num_vars = 2 + rng.gen_range(0..10);
+        let num_clauses = rng.gen_range(1..40);
+        let f = random_ksat(&mut rng, num_vars, num_clauses, 5);
+        let expected = brute_force_sat(&f).is_some();
+        check_formula(&f, SolverOptions::default(), expected);
+    }
+}
+
+#[test]
+fn ordering_modes_agree_on_verdict() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let num_vars = 4 + rng.gen_range(0..10);
+        let num_clauses = (num_vars as f64 * 4.3) as usize;
+        let f = random_ksat(&mut rng, num_vars, num_clauses, 3);
+        let expected = brute_force_sat(&f).is_some();
+        // A synthetic ranking (favour low-index variables strongly).
+        let ranking: Vec<u64> = (0..num_vars).map(|v| (num_vars - v) as u64 * 10).collect();
+        for mode in [
+            OrderMode::Standard,
+            OrderMode::Static,
+            OrderMode::Dynamic { divisor: 64 },
+            OrderMode::Dynamic { divisor: 1 },
+        ] {
+            let mut solver = Solver::from_formula_with(
+                &f,
+                SolverOptions {
+                    order_mode: mode,
+                    ..SolverOptions::default()
+                },
+            );
+            solver.set_var_ranking(&ranking);
+            let result = solver.solve();
+            assert_eq!(
+                result == SolveResult::Sat,
+                expected,
+                "mode {mode:?} verdict mismatch on {f}"
+            );
+            if result == SolveResult::Sat {
+                assert_eq!(f.evaluate(solver.model().unwrap()), Some(true));
+            } else {
+                let core = solver.core_clauses().unwrap();
+                let sub = f.subformula(core);
+                assert!(brute_force_sat(&sub).is_none(), "mode {mode:?} bad core");
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let f = random_ksat(&mut rng, 12, 50, 3);
+        let run = |f: &CnfFormula| {
+            let mut s = Solver::from_formula(f);
+            let r = s.solve();
+            (r, s.stats().clone(), s.core_clauses().map(<[usize]>::to_vec))
+        };
+        let a = run(&f);
+        let b = run(&f);
+        assert_eq!(a, b, "two runs diverged on {f}");
+    }
+}
+
+#[test]
+fn core_is_reasonably_tight_on_padded_formulas() {
+    // An UNSAT kernel plus many satisfiable padding clauses over fresh
+    // variables: the core must never touch the padding.
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..20 {
+        let mut f = CnfFormula::new();
+        // Kernel over vars 0..3: (a)(−a b)(−b c)(−c) is UNSAT.
+        let a = Var::new(0);
+        let b = Var::new(1);
+        let c = Var::new(2);
+        f.add_clause([a.positive()]);
+        f.add_clause([a.negative(), b.positive()]);
+        f.add_clause([b.negative(), c.positive()]);
+        f.add_clause([c.negative()]);
+        let kernel = f.num_clauses();
+        // Padding over vars 10..30, always satisfiable (all positive).
+        for _ in 0..rng.gen_range(5..30) {
+            let lits: Vec<Lit> = (0..3)
+                .map(|_| Var::new(10 + rng.gen_range(0..20)).positive())
+                .collect();
+            f.add_clause(lits);
+        }
+        let mut solver = Solver::from_formula(&f);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        let core = solver.core_clauses().unwrap();
+        assert!(
+            core.iter().all(|&i| i < kernel),
+            "core {core:?} leaked into padding"
+        );
+        let core_vars = solver.core_vars().unwrap();
+        assert!(core_vars.iter().all(|v| v.index() < 3));
+    }
+}
+
+#[test]
+fn limits_interrupt_and_resume_reaches_same_verdict() {
+    let mut rng = StdRng::seed_from_u64(0x515);
+    for _ in 0..10 {
+        let f = random_ksat(&mut rng, 14, 60, 3);
+        let expected = {
+            let mut s = Solver::from_formula(&f);
+            s.solve()
+        };
+        // Solve in tiny conflict increments.
+        let mut s = Solver::from_formula(&f);
+        let mut steps = 0;
+        let result = loop {
+            let r = s.solve_limited(&rbmc_solver::Limits::new().with_max_conflicts(2));
+            steps += 1;
+            if r != SolveResult::Unknown {
+                break r;
+            }
+            assert!(steps < 10_000, "no progress under chunked solving");
+        };
+        assert_eq!(result, expected);
+    }
+}
