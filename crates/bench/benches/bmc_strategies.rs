@@ -7,24 +7,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rbmc_core::{BmcEngine, BmcOptions, OrderingStrategy};
 use rbmc_gens::families;
 
+type MakeModel = Box<dyn Fn() -> rbmc_core::Model>;
+
 fn bench_strategies(c: &mut Criterion) {
     // Representative search-heavy instances (one passing, one failing).
-    let cases: Vec<(&str, Box<dyn Fn() -> rbmc_core::Model>, usize)> = vec![
-        (
-            "twin10",
-            Box::new(|| families::shift_twin(10)),
-            14,
-        ),
-        (
-            "fifo16_over",
-            Box::new(|| families::fifo_unguarded(4)),
-            18,
-        ),
-        (
-            "drift8x6",
-            Box::new(|| families::drifting_twin(8, 6)),
-            12,
-        ),
+    let cases: Vec<(&str, MakeModel, usize)> = vec![
+        ("twin10", Box::new(|| families::shift_twin(10)), 14),
+        ("fifo16_over", Box::new(|| families::fifo_unguarded(4)), 18),
+        ("drift8x6", Box::new(|| families::drifting_twin(8, 6)), 12),
     ];
     for (name, make, depth) in cases {
         let mut group = c.benchmark_group(format!("bmc/{name}"));
@@ -32,7 +22,10 @@ fn bench_strategies(c: &mut Criterion) {
         for (label, strategy) in [
             ("standard", OrderingStrategy::Standard),
             ("static", OrderingStrategy::RefinedStatic),
-            ("dynamic64", OrderingStrategy::RefinedDynamic { divisor: 64 }),
+            (
+                "dynamic64",
+                OrderingStrategy::RefinedDynamic { divisor: 64 },
+            ),
             ("shtrichman", OrderingStrategy::Shtrichman),
         ] {
             group.bench_function(label, |b| {

@@ -47,7 +47,12 @@ fn main() {
     let b_dec: Vec<u64> = base.run.per_depth.iter().map(|d| d.decisions).collect();
     let r_dec: Vec<u64> = refined.run.per_depth.iter().map(|d| d.decisions).collect();
     let b_imp: Vec<u64> = base.run.per_depth.iter().map(|d| d.implications).collect();
-    let r_imp: Vec<u64> = refined.run.per_depth.iter().map(|d| d.implications).collect();
+    let r_imp: Vec<u64> = refined
+        .run
+        .per_depth
+        .iter()
+        .map(|d| d.implications)
+        .collect();
     println!(
         "# totals: decisions {} -> {}, implications {} -> {}",
         total(&b_dec),
@@ -57,11 +62,7 @@ fn main() {
     );
     println!(
         "# shape check: refined decisions smaller at {} of {} depths",
-        b_dec
-            .iter()
-            .zip(&r_dec)
-            .filter(|&(b, r)| r < b)
-            .count(),
+        b_dec.iter().zip(&r_dec).filter(|&(b, r)| r < b).count(),
         depths
     );
 }

@@ -61,11 +61,7 @@ fn main() {
             decisions[i] = result.decisions;
             totals_time[i] += times[i];
             totals_dec[i] += result.decisions;
-            cells.push(format!(
-                "{} ({})",
-                secs(result.time),
-                result.decisions
-            ));
+            cells.push(format!("{} ({})", secs(result.time), result.decisions));
         }
         // Like the paper, exclude trivial rows from the win/speedup summary
         // (the paper dropped experiments finishing under 10 s everywhere; we
@@ -125,8 +121,14 @@ fn main() {
         "",
         "",
         "100%",
-        format!("{:.0}%", ratio_percent(totals_dec[1] as f64, totals_dec[0] as f64)),
-        format!("{:.0}%", ratio_percent(totals_dec[2] as f64, totals_dec[0] as f64))
+        format!(
+            "{:.0}%",
+            ratio_percent(totals_dec[1] as f64, totals_dec[0] as f64)
+        ),
+        format!(
+            "{:.0}%",
+            ratio_percent(totals_dec[2] as f64, totals_dec[0] as f64)
+        )
     );
     println!();
     println!(

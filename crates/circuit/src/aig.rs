@@ -63,7 +63,12 @@ impl Not for AigLit {
 
 impl fmt::Debug for AigLit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "@{}{}", if self.is_inverted() { "!" } else { "" }, self.node())
+        write!(
+            f,
+            "@{}{}",
+            if self.is_inverted() { "!" } else { "" },
+            self.node()
+        )
     }
 }
 
@@ -333,7 +338,11 @@ impl Aig {
 
 /// Reduces a literal list with `op` as a balanced tree (keeps depth
 /// logarithmic).
-fn balanced_tree(aig: &mut Aig, lits: &[AigLit], op: fn(&mut Aig, AigLit, AigLit) -> AigLit) -> AigLit {
+fn balanced_tree(
+    aig: &mut Aig,
+    lits: &[AigLit],
+    op: fn(&mut Aig, AigLit, AigLit) -> AigLit,
+) -> AigLit {
     match lits.len() {
         0 => AigLit::TRUE, // AND identity; callers with empty OR/XOR are folded earlier
         1 => lits[0],

@@ -128,7 +128,10 @@ pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
         .ok_or_else(|| ParseAigerError::new(1, "empty file"))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() != 6 || fields[0] != "aag" {
-        return Err(ParseAigerError::new(1, "malformed header (want `aag M I L O A`)"));
+        return Err(ParseAigerError::new(
+            1,
+            "malformed header (want `aag M I L O A`)",
+        ));
     }
     let parse_num = |s: &str, line: usize| -> Result<usize, ParseAigerError> {
         s.parse()
@@ -192,20 +195,26 @@ pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
         };
         let check_lit = |code: usize, lineno: usize| -> Result<usize, ParseAigerError> {
             if code / 2 > m {
-                Err(ParseAigerError::new(lineno, format!("literal {code} exceeds M")))
+                Err(ParseAigerError::new(
+                    lineno,
+                    format!("literal {code} exceeds M"),
+                ))
             } else {
                 Ok(code)
             }
         };
         match section {
             0 => {
-                if nums.len() != 1 || nums[0] % 2 != 0 || nums[0] == 0 {
+                if nums.len() != 1 || !nums[0].is_multiple_of(2) || nums[0] == 0 {
                     return Err(ParseAigerError::new(lineno, "malformed input line"));
                 }
                 input_vars.push(check_lit(nums[0], lineno)? / 2);
             }
             1 => {
-                if !(nums.len() == 2 || nums.len() == 3) || nums[0] % 2 != 0 || nums[0] == 0 {
+                if !(nums.len() == 2 || nums.len() == 3)
+                    || !nums[0].is_multiple_of(2)
+                    || nums[0] == 0
+                {
                     return Err(ParseAigerError::new(lineno, "malformed latch line"));
                 }
                 latch_lines.push(LatchLine {
@@ -221,7 +230,7 @@ pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
                 output_codes.push(check_lit(nums[0], lineno)?);
             }
             3 => {
-                if nums.len() != 3 || nums[0] % 2 != 0 || nums[0] == 0 {
+                if nums.len() != 3 || !nums[0].is_multiple_of(2) || nums[0] == 0 {
                     return Err(ParseAigerError::new(lineno, "malformed and line"));
                 }
                 and_lines.push(AndLine {
@@ -234,7 +243,10 @@ pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
         }
     }
     if section_counts.iter().any(|&c| c != 0) {
-        return Err(ParseAigerError::new(0, "fewer lines than the header declares"));
+        return Err(ParseAigerError::new(
+            0,
+            "fewer lines than the header declares",
+        ));
     }
 
     // Build the AIG: map aag variables to AigLits.
@@ -331,9 +343,7 @@ mod tests {
         let mut sa = init(a);
         let mut sb = init(b);
         for step in 0..steps {
-            let inputs: Vec<bool> = (0..a.inputs().len())
-                .map(|k| (step + k) % 3 == 0)
-                .collect();
+            let inputs: Vec<bool> = (0..a.inputs().len()).map(|k| (step + k) % 3 == 0).collect();
             let va = a.eval_frame(&sa, &inputs);
             let vb = b.eval_frame(&sb, &inputs);
             for ((_, la), (_, lb)) in a.outputs().iter().zip(b.outputs()) {

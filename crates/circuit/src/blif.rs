@@ -507,10 +507,7 @@ pub fn write_blif(netlist: &Netlist, model_name: &str) -> String {
     let needs_const0 = body.contains("const0") || out.contains("const0");
     let needs_const1 = body.contains("const1");
     for id in inverters {
-        body.push_str(&format!(
-            ".names {0} {0}_bar\n0 1\n",
-            signal_name(id)
-        ));
+        body.push_str(&format!(".names {0} {0}_bar\n0 1\n", signal_name(id)));
     }
     if needs_const0 {
         body.push_str(".names const0\n");

@@ -107,7 +107,7 @@ pub fn reduce_to_cone(netlist: &Netlist, seeds: &[Signal]) -> CoiReduction {
         }
     };
     for id in netlist.topo_order() {
-        if !cone.binary_search(&id).is_ok() {
+        if cone.binary_search(&id).is_err() {
             continue;
         }
         if let Node::Gate { op, fanins } = netlist.node(id) {

@@ -374,11 +374,7 @@ impl Netlist {
     /// Panics if the buses differ in width.
     pub fn bus_eq(&mut self, a: &[Signal], b: &[Signal]) -> Signal {
         assert_eq!(a.len(), b.len(), "bus widths differ");
-        let bits: Vec<Signal> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.xnor2(x, y))
-            .collect();
+        let bits: Vec<Signal> = a.iter().zip(b).map(|(&x, &y)| self.xnor2(x, y)).collect();
         self.and_many(&bits)
     }
 
@@ -632,10 +628,7 @@ mod tests {
     fn unconnected_latch_rejected() {
         let mut n = Netlist::new();
         let l = n.add_latch("l", LatchInit::Zero);
-        assert_eq!(
-            n.validate(),
-            Err(NetlistError::UnconnectedLatch(l.node()))
-        );
+        assert_eq!(n.validate(), Err(NetlistError::UnconnectedLatch(l.node())));
     }
 
     #[test]
@@ -648,7 +641,13 @@ mod tests {
         assert_eq!(n.and2(a, !a), Signal::FALSE);
         let b = n.add_input("b");
         let g = n.and2(a, b);
-        assert!(matches!(n.node(g.node()), Node::Gate { op: GateOp::And, .. }));
+        assert!(matches!(
+            n.node(g.node()),
+            Node::Gate {
+                op: GateOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -671,7 +670,13 @@ mod tests {
         assert_eq!(n.mux(Signal::FALSE, a, b), b);
         assert_eq!(n.mux(s, a, a), a);
         let g = n.mux(s, a, b);
-        assert!(matches!(n.node(g.node()), Node::Gate { op: GateOp::Mux, .. }));
+        assert!(matches!(
+            n.node(g.node()),
+            Node::Gate {
+                op: GateOp::Mux,
+                ..
+            }
+        ));
     }
 
     #[test]

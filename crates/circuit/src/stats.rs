@@ -124,7 +124,10 @@ pub fn to_dot(netlist: &Netlist, graph_name: &str) -> String {
     for id in netlist.node_ids() {
         match netlist.node(id) {
             Node::Const => {
-                out.push_str(&format!("  n{} [label=\"0\" shape=plaintext];\n", id.index()));
+                out.push_str(&format!(
+                    "  n{} [label=\"0\" shape=plaintext];\n",
+                    id.index()
+                ));
             }
             Node::Input => {
                 out.push_str(&format!(
@@ -144,7 +147,11 @@ pub fn to_dot(netlist: &Netlist, graph_name: &str) -> String {
                         "  n{} -> n{} [style={}];\n",
                         next.node().index(),
                         id.index(),
-                        if next.is_inverted() { "dashed" } else { "solid" }
+                        if next.is_inverted() {
+                            "dashed"
+                        } else {
+                            "solid"
+                        }
                     ));
                 }
             }

@@ -50,7 +50,11 @@ impl fmt::Display for ParseDimacsError {
                 write!(f, "unexpected token `{tok}` on line {}", self.line)
             }
             ErrorKind::UnterminatedClause => {
-                write!(f, "clause not terminated by 0 at end of input (line {})", self.line)
+                write!(
+                    f,
+                    "clause not terminated by 0 at end of input (line {})",
+                    self.line
+                )
             }
         }
     }
@@ -192,7 +196,10 @@ mod tests {
         let f = parse_dimacs("c hi\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
         assert_eq!(f.num_vars(), 3);
         assert_eq!(f.num_clauses(), 2);
-        assert_eq!(f.clause(0).lits(), &[Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        assert_eq!(
+            f.clause(0).lits(),
+            &[Lit::from_dimacs(1), Lit::from_dimacs(-2)]
+        );
     }
 
     #[test]

@@ -16,12 +16,11 @@ fn arb_clause(num_vars: usize, max_len: usize) -> impl Strategy<Value = Clause> 
 /// Strategy producing an arbitrary formula.
 fn arb_formula() -> impl Strategy<Value = CnfFormula> {
     (1usize..20).prop_flat_map(|nv| {
-        prop::collection::vec(arb_clause(nv, 6), 0..30)
-            .prop_map(move |clauses| {
-                let mut f = CnfFormula::with_vars(nv);
-                f.extend(clauses);
-                f
-            })
+        prop::collection::vec(arb_clause(nv, 6), 0..30).prop_map(move |clauses| {
+            let mut f = CnfFormula::with_vars(nv);
+            f.extend(clauses);
+            f
+        })
     })
 }
 

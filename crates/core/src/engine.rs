@@ -259,9 +259,7 @@ impl BmcEngine {
     pub fn run_collecting(&mut self) -> BmcRun {
         let run_start = Instant::now();
         let unroller = Unroller::new(&self.model);
-        let mut outcome = BmcOutcome::BoundReached {
-            depth_completed: 0,
-        };
+        let mut outcome = BmcOutcome::BoundReached { depth_completed: 0 };
         let mut completed_all = true;
         for k in 0..=self.options.max_depth {
             let depth_start = Instant::now();
@@ -450,7 +448,10 @@ mod tests {
             },
         );
         let run = engine.run_collecting();
-        assert!(matches!(run.outcome, BmcOutcome::Counterexample { depth: 9, .. }));
+        assert!(matches!(
+            run.outcome,
+            BmcOutcome::Counterexample { depth: 9, .. }
+        ));
         // Nine UNSAT instances were consumed (k = 0..8).
         assert_eq!(engine.rank().num_updates(), 9);
         assert!(engine.rank().num_ranked() > 0);

@@ -16,8 +16,8 @@
 //! If the step holds, `G P` holds; otherwise `k` is increased. With unique
 //! states the loop is complete: it terminates for every finite model.
 
-use rbmc_cnf::{CnfFormula, Lit};
 use rbmc_circuit::Node;
+use rbmc_cnf::{CnfFormula, Lit};
 use rbmc_solver::{SolveResult, Solver, SolverOptions};
 
 use crate::{BmcEngine, BmcOptions, BmcOutcome, Model, Trace, Unroller};

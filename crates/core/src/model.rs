@@ -38,7 +38,9 @@ impl Model {
     ///
     /// Panics if the netlist fails [`Netlist::validate`].
     pub fn new(name: &str, netlist: Netlist, bad: Signal) -> Model {
-        netlist.validate().expect("model netlist must be well-formed");
+        netlist
+            .validate()
+            .expect("model netlist must be well-formed");
         Model {
             name: name.to_string(),
             netlist,

@@ -53,7 +53,10 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::BadInitialState { latch_index } => {
-                write!(f, "initial value of latch {latch_index} contradicts its reset")
+                write!(
+                    f,
+                    "initial value of latch {latch_index} contradicts its reset"
+                )
             }
             TraceError::BadNotReached => {
                 write!(f, "replay does not reach a bad state at the final frame")
@@ -155,7 +158,11 @@ impl Trace {
         let mut out = String::new();
         let mut sim = Simulator::with_state(netlist, self.initial_state.clone());
         for (frame, inputs) in self.inputs.iter().enumerate() {
-            let state: String = sim.state().iter().map(|&b| if b { '1' } else { '0' }).collect();
+            let state: String = sim
+                .state()
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
             let ins: String = inputs.iter().map(|&b| if b { '1' } else { '0' }).collect();
             let values = sim.frame_values(inputs);
             let bad = read_signal(&values, model.bad());

@@ -55,7 +55,11 @@ pub fn render_vcd(model: &Model, trace: &Trace) -> String {
     let bad_code = code(latches.len() + inputs.len());
 
     let mut out = String::new();
-    let _ = writeln!(out, "$comment refined-bmc counterexample for {} $end", model.name());
+    let _ = writeln!(
+        out,
+        "$comment refined-bmc counterexample for {} $end",
+        model.name()
+    );
     let _ = writeln!(out, "$timescale 1ns $end");
     let _ = writeln!(out, "$scope module {} $end", sanitize(model.name()));
     let _ = writeln!(out, "$scope module regs $end");
@@ -114,7 +118,13 @@ pub fn render_vcd(model: &Model, trace: &Trace) -> String {
 /// Replaces characters VCD identifiers dislike.
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -35,11 +35,7 @@ pub fn gated_counter(width: usize, step: u64, target: u64) -> Model {
         n.set_next(b, next);
     }
     let bad = n.bus_eq_const(&bits, target);
-    Model::new(
-        &format!("counter{width}x{step}@{target}"),
-        n,
-        bad,
-    )
+    Model::new(&format!("counter{width}x{step}@{target}"), n, bad)
 }
 
 /// A `width`-stage shift register fed by an input; bad when the whole window
@@ -93,7 +89,11 @@ pub fn token_ring(stations: usize) -> Model {
         .collect();
     let tokens: Vec<Signal> = (0..stations)
         .map(|i| {
-            let init = if i == 0 { LatchInit::One } else { LatchInit::Zero };
+            let init = if i == 0 {
+                LatchInit::One
+            } else {
+                LatchInit::Zero
+            };
             netlist.add_latch(&format!("t{i}"), init)
         })
         .collect();
@@ -128,7 +128,11 @@ pub fn token_ring_buggy(stations: usize, fuse: usize) -> Model {
         .collect();
     let tokens: Vec<Signal> = (0..stations)
         .map(|i| {
-            let init = if i == 0 { LatchInit::One } else { LatchInit::Zero };
+            let init = if i == 0 {
+                LatchInit::One
+            } else {
+                LatchInit::Zero
+            };
             netlist.add_latch(&format!("t{i}"), init)
         })
         .collect();
@@ -329,9 +333,7 @@ pub fn tmr_voter(width: usize, faults: usize) -> Model {
         .collect();
     // Common next state: voted + en (gated increment of the voted value).
     let inc = n.bus_increment(&voted);
-    let common_next: Vec<Signal> = (0..width)
-        .map(|i| n.mux(en, inc[i], voted[i]))
-        .collect();
+    let common_next: Vec<Signal> = (0..width).map(|i| n.mux(en, inc[i], voted[i])).collect();
     for (c, copy) in copies.iter().enumerate() {
         for (i, &bit) in copy.iter().enumerate() {
             // Fault `f` flips bit `f` of the written value, so two
@@ -519,6 +521,7 @@ fn traffic(timer_bits: usize, buggy: bool) -> Model {
     }
     let in_p0 = n.and_many(&[!p0, !p1]); // A green
     let in_p1 = n.and_many(&[p0, !p1]); // A yellow
+
     // Phase counter increments on advance (wraps 3 -> 0).
     let p0_next_normal = n.xor2(p0, advance);
     let carry = n.and2(p0, advance);
@@ -559,7 +562,11 @@ pub fn lfsr(width: usize, taps: &[usize], target: u64) -> Model {
     let mut n = Netlist::new();
     let bits: Vec<Signal> = (0..width)
         .map(|i| {
-            let init = if i == 0 { LatchInit::One } else { LatchInit::Zero };
+            let init = if i == 0 {
+                LatchInit::One
+            } else {
+                LatchInit::Zero
+            };
             n.add_latch(&format!("x{i}"), init)
         })
         .collect();
@@ -587,7 +594,10 @@ pub fn lfsr(width: usize, taps: &[usize], target: u64) -> Model {
 /// Panics unless `banks` is a power of two (the phase counter wraps
 /// naturally).
 pub fn drifting_twin(banks: usize, width: usize) -> Model {
-    assert!(banks.is_power_of_two() && banks >= 2, "banks must be a power of two");
+    assert!(
+        banks.is_power_of_two() && banks >= 2,
+        "banks must be a power of two"
+    );
     let phase_bits = banks.trailing_zeros() as usize;
     let mut n = Netlist::new();
     let input = n.add_input("in");
@@ -640,7 +650,11 @@ fn at_least_k(n: &mut Netlist, signals: &[Signal], k: usize) -> Signal {
     for &s in signals {
         let mut new = at_least.clone();
         for j in (0..k).rev() {
-            let carry_in = if j == 0 { Signal::TRUE } else { at_least[j - 1] };
+            let carry_in = if j == 0 {
+                Signal::TRUE
+            } else {
+                at_least[j - 1]
+            };
             let gained = n.and2(s, carry_in);
             new[j] = n.or2(at_least[j], gained);
         }

@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let shapes: Vec<usize> = (0..10)
-            .map(|s| random_model(s, RandomModelConfig::default()).netlist().num_nodes())
+            .map(|s| {
+                random_model(s, RandomModelConfig::default())
+                    .netlist()
+                    .num_nodes()
+            })
             .collect();
         let distinct: std::collections::HashSet<_> = shapes.iter().collect();
         assert!(distinct.len() > 1, "all seeds produced identical shapes");

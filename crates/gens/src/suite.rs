@@ -61,20 +61,60 @@ pub fn suite_table1() -> Vec<BenchInstance> {
     };
 
     // Combination locks: the search-heavy failing family (+ passing twins).
-    add("01_lock8", families::combination_lock(&[2, 1, 3, 0, 2, 3, 1, 2], 2), FailsAt(8), 12);
-    add("02_1_lock10", families::combination_lock(&[1, 2, 0, 3, 1, 0, 2, 3, 0, 1], 2), FailsAt(10), 14);
-    add("02_2_lock12", families::combination_lock(&[3, 1, 0, 2, 3, 0, 1, 2, 3, 1, 0, 2], 2), FailsAt(12), 16);
-    add("02_3_lock14", families::combination_lock(&[1, 3, 2, 0, 1, 2, 3, 0, 2, 1, 0, 3, 1, 2], 2), FailsAt(14), 18);
-    add("03_lock10_imp", families::combination_lock_impossible(&[1, 2, 0, 3, 1, 0, 2, 3, 0, 1], 2), Holds, 14);
+    add(
+        "01_lock8",
+        families::combination_lock(&[2, 1, 3, 0, 2, 3, 1, 2], 2),
+        FailsAt(8),
+        12,
+    );
+    add(
+        "02_1_lock10",
+        families::combination_lock(&[1, 2, 0, 3, 1, 0, 2, 3, 0, 1], 2),
+        FailsAt(10),
+        14,
+    );
+    add(
+        "02_2_lock12",
+        families::combination_lock(&[3, 1, 0, 2, 3, 0, 1, 2, 3, 1, 0, 2], 2),
+        FailsAt(12),
+        16,
+    );
+    add(
+        "02_3_lock14",
+        families::combination_lock(&[1, 3, 2, 0, 1, 2, 3, 0, 2, 1, 0, 3, 1, 2], 2),
+        FailsAt(14),
+        18,
+    );
+    add(
+        "03_lock10_imp",
+        families::combination_lock_impossible(&[1, 2, 0, 3, 1, 0, 2, 3, 0, 1], 2),
+        Holds,
+        14,
+    );
 
     // Token rings: mutual exclusion (passing) and injection bugs (failing).
     add("05_ring8", families::token_ring(8), Holds, 16);
     add("06_ring12", families::token_ring(12), Holds, 14);
-    add("08_1_ring8_bug4", families::token_ring_buggy(8, 4), FailsAt(5), 10);
-    add("08_2_ring12_bug6", families::token_ring_buggy(12, 6), FailsAt(7), 12);
+    add(
+        "08_1_ring8_bug4",
+        families::token_ring_buggy(8, 4),
+        FailsAt(5),
+        10,
+    );
+    add(
+        "08_2_ring12_bug6",
+        families::token_ring_buggy(12, 6),
+        FailsAt(7),
+        12,
+    );
 
     // Shift registers.
-    add("09_shift12_ones", families::shift_all_ones(12), FailsAt(12), 16);
+    add(
+        "09_shift12_ones",
+        families::shift_all_ones(12),
+        FailsAt(12),
+        16,
+    );
     add("10_1_drift4x6", families::drifting_twin(4, 6), Holds, 16);
     add("10_2_drift4x8", families::drifting_twin(4, 8), Holds, 14);
     add("11_1_shift10_twin", families::shift_twin(10), Holds, 18);
@@ -83,14 +123,44 @@ pub fn suite_table1() -> Vec<BenchInstance> {
     // FIFOs.
     add("12_fifo8_guard", families::fifo_guarded(3), Holds, 16);
     add("13_fifo16_guard", families::fifo_guarded(4), Holds, 14);
-    add("14_1_fifo8_over", families::fifo_unguarded(3), FailsAt(9), 12);
-    add("14_2_fifo16_over", families::fifo_unguarded(4), FailsAt(17), 20);
+    add(
+        "14_1_fifo8_over",
+        families::fifo_unguarded(3),
+        FailsAt(9),
+        12,
+    );
+    add(
+        "14_2_fifo16_over",
+        families::fifo_unguarded(4),
+        FailsAt(17),
+        20,
+    );
 
     // Gated counters.
-    add("15_cnt8", families::gated_counter(8, 1, 11), FailsAt(11), 15);
-    add("16_1_cnt10", families::gated_counter(10, 1, 13), FailsAt(13), 16);
-    add("17_1_cnt12_odd", families::gated_counter(12, 2, 15), Holds, 14);
-    add("17_2_cnt12", families::gated_counter(12, 1, 14), FailsAt(14), 18);
+    add(
+        "15_cnt8",
+        families::gated_counter(8, 1, 11),
+        FailsAt(11),
+        15,
+    );
+    add(
+        "16_1_cnt10",
+        families::gated_counter(10, 1, 13),
+        FailsAt(13),
+        16,
+    );
+    add(
+        "17_1_cnt12_odd",
+        families::gated_counter(12, 2, 15),
+        Holds,
+        14,
+    );
+    add(
+        "17_2_cnt12",
+        families::gated_counter(12, 1, 14),
+        FailsAt(14),
+        18,
+    );
 
     // TMR voters.
     add("18_tmr3_f1", families::tmr_voter(3, 1), Holds, 12);
@@ -100,11 +170,26 @@ pub fn suite_table1() -> Vec<BenchInstance> {
     // Pipelines.
     add("21_pipe12", families::pipeline_emerge(12), FailsAt(12), 16);
     add("22_pipe16", families::pipeline_emerge(16), FailsAt(16), 20);
-    add("23_pipe12_ghost", families::pipeline_no_ghost(12), Holds, 16);
+    add(
+        "23_pipe12_ghost",
+        families::pipeline_no_ghost(12),
+        Holds,
+        16,
+    );
 
     // Counters under flip bounds (binary fails, gray holds).
-    add("24_1_bin8_flip3", families::binary_flips(8, 3), FailsAt(3), 12);
-    add("24_2_bin8_flip4", families::binary_flips(8, 4), FailsAt(7), 14);
+    add(
+        "24_1_bin8_flip3",
+        families::binary_flips(8, 3),
+        FailsAt(3),
+        12,
+    );
+    add(
+        "24_2_bin8_flip4",
+        families::binary_flips(8, 4),
+        FailsAt(7),
+        14,
+    );
     add("25_gray8", families::gray_flips(8), Holds, 16);
 
     // Drifting cores: the adversarial case for the static refinement.
@@ -113,11 +198,21 @@ pub fn suite_table1() -> Vec<BenchInstance> {
 
     // Traffic controllers (the bug window opens when the timer saturates).
     add("27_traffic3", families::traffic_interlock(3), Holds, 18);
-    add("28_traffic3_bug", families::traffic_buggy(3), FailsAt(8), 12);
+    add(
+        "28_traffic3_bug",
+        families::traffic_buggy(3),
+        FailsAt(8),
+        12,
+    );
 
     // LFSRs.
     add("29_lfsr10_zero", families::lfsr(10, &[9, 6], 0), Holds, 16);
-    add("31_1_lfsr10", families::lfsr(10, &[9, 6], 4), FailsAt(2), 10);
+    add(
+        "31_1_lfsr10",
+        families::lfsr(10, &[9, 6], 4),
+        FailsAt(2),
+        10,
+    );
 
     assert_eq!(v.len(), 37, "the suite mirrors Table 1's 37 instances");
     v
@@ -177,8 +272,14 @@ mod tests {
             .filter(|b| matches!(b.expectation, Expectation::FailsAt(_)))
             .count();
         let passing = suite.len() - failing;
-        assert!(failing >= 10, "at least 10 failing instances, got {failing}");
-        assert!(passing >= 10, "at least 10 passing instances, got {passing}");
+        assert!(
+            failing >= 10,
+            "at least 10 failing instances, got {failing}"
+        );
+        assert!(
+            passing >= 10,
+            "at least 10 passing instances, got {passing}"
+        );
     }
 
     #[test]

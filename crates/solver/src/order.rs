@@ -63,7 +63,11 @@ impl Key {
     /// stable across runs).
     fn beats(&self, other: &Key) -> bool {
         (self.primary, self.secondary, std::cmp::Reverse(self.code))
-            > (other.primary, other.secondary, std::cmp::Reverse(other.code))
+            > (
+                other.primary,
+                other.secondary,
+                std::cmp::Reverse(other.code),
+            )
     }
 }
 

@@ -348,7 +348,11 @@ impl Solver {
     /// happen without limits).
     pub fn solve(&mut self) -> SolveResult {
         let result = self.solve_limited(&Limits::default());
-        assert_ne!(result, SolveResult::Unknown, "unlimited solve cannot time out");
+        assert_ne!(
+            result,
+            SolveResult::Unknown,
+            "unlimited solve cannot time out"
+        );
         result
     }
 
@@ -591,9 +595,8 @@ impl Solver {
             if self.opts.record_cdg {
                 antecedents.push(self.cdg_ids[confl as usize]);
             }
-            self.clauses[confl as usize].activity = self.clauses[confl as usize]
-                .activity
-                .saturating_add(1);
+            self.clauses[confl as usize].activity =
+                self.clauses[confl as usize].activity.saturating_add(1);
             // The clause body is present: reasons of assigned literals and the
             // conflicting clause are never deleted (locked or just used).
             for j in 0..self.clauses[confl as usize].lits.len() {
@@ -650,8 +653,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
-                {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -765,8 +767,7 @@ impl Solver {
             return false;
         }
         let first = c.lits[0];
-        self.lit_value(first) == LBool::True
-            && self.reasons[first.var().index()] == Some(cref)
+        self.lit_value(first) == LBool::True && self.reasons[first.var().index()] == Some(cref)
     }
 
     /// Dynamic configuration: fall back to pure VSIDS once the decision count
@@ -810,7 +811,9 @@ impl Solver {
         if let Some(deadline) = limits.deadline {
             // Coarse check: only every 64 conflicts to keep `Instant::now`
             // off the hot path.
-            if (self.stats.conflicts - base_conflicts) % 64 == 0 && Instant::now() >= deadline {
+            if (self.stats.conflicts - base_conflicts).is_multiple_of(64)
+                && Instant::now() >= deadline
+            {
                 return true;
             }
         }

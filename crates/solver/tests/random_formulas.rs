@@ -4,9 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rbmc_cnf::{CnfFormula, Lit, Var};
-use rbmc_solver::{
-    brute_force_sat, reference_dpll, OrderMode, SolveResult, Solver, SolverOptions,
-};
+use rbmc_solver::{brute_force_sat, reference_dpll, OrderMode, SolveResult, Solver, SolverOptions};
 
 /// Random k-SAT formula with `num_clauses` clauses over `num_vars` variables.
 fn random_ksat(rng: &mut StdRng, num_vars: usize, num_clauses: usize, k: usize) -> CnfFormula {
@@ -170,7 +168,11 @@ fn solver_is_deterministic() {
         let run = |f: &CnfFormula| {
             let mut s = Solver::from_formula(f);
             let r = s.solve();
-            (r, s.stats().clone(), s.core_clauses().map(<[usize]>::to_vec))
+            (
+                r,
+                s.stats().clone(),
+                s.core_clauses().map(<[usize]>::to_vec),
+            )
         };
         let a = run(&f);
         let b = run(&f);

@@ -33,8 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (text, output_name) = match args.get(1) {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             let output = args.get(2).cloned().unwrap_or_else(|| "bad".to_string());
             (text, output)
         }

@@ -34,7 +34,9 @@ fn main() {
             parse_dimacs(&text).unwrap_or_else(|e| panic!("parse error: {e}"))
         }
         None => {
-            println!("no file given; solving the built-in pigeonhole instance PHP(4 pigeons, 3 holes)");
+            println!(
+                "no file given; solving the built-in pigeonhole instance PHP(4 pigeons, 3 holes)"
+            );
             pigeonhole(4, 3)
         }
     };

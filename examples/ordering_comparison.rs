@@ -11,7 +11,10 @@ fn main() {
     let strategies = [
         ("standard VSIDS", OrderingStrategy::Standard),
         ("refined static", OrderingStrategy::RefinedStatic),
-        ("refined dynamic", OrderingStrategy::RefinedDynamic { divisor: 64 }),
+        (
+            "refined dynamic",
+            OrderingStrategy::RefinedDynamic { divisor: 64 },
+        ),
         ("shtrichman", OrderingStrategy::Shtrichman),
     ];
     let max_depth = 14;

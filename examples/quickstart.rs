@@ -36,7 +36,10 @@ fn main() {
     match &run.outcome {
         BmcOutcome::Counterexample { depth, trace } => {
             println!("property FAILS: counterexample of length {depth}");
-            println!("trace validates: {:?}", trace.validate(engine.model()).is_ok());
+            println!(
+                "trace validates: {:?}",
+                trace.validate(engine.model()).is_ok()
+            );
         }
         BmcOutcome::BoundReached { depth_completed } => {
             println!("property holds up to depth {depth_completed}");

@@ -63,7 +63,9 @@ fn aiger_roundtrip_preserves_bmc_verdict() {
             .iter()
             .position(|(name, _)| name == "bad_property")
             .expect("property output survives");
-        let bad = rebuilt.output(&format!("o{bad_index}")).or_else(|| rebuilt.output("bad_property"));
+        let bad = rebuilt
+            .output(&format!("o{bad_index}"))
+            .or_else(|| rebuilt.output("bad_property"));
         let roundtripped = Model::new(model.name(), rebuilt.clone(), bad.unwrap());
 
         let original = bmc_verdict(model.clone(), max_depth);

@@ -1,0 +1,264 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides the subset of the criterion API the
+//! workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`] —
+//! backed by a simple adaptive wall-clock timer instead of criterion's
+//! statistical machinery.
+//!
+//! Behaviour:
+//!
+//! - Under `cargo bench`, each benchmark warms up once, then runs batches
+//!   until [`Criterion::measurement_time`] elapses (default 500 ms) or the
+//!   sample budget is exhausted, and prints `name  time: [median]`.
+//! - When the binary receives `--test` (as `cargo test --benches` passes),
+//!   every routine runs exactly once, so benches double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration inputs produced by `iter_batched` setups are grouped.
+///
+/// The stand-in timer always times routines one call at a time, so this is
+/// accepted for API compatibility but does not change measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Settings {
+    fn from_env() -> Settings {
+        Settings {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// The benchmark manager: registers and immediately runs benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Criterion {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.settings.measurement_time = dur;
+        self
+    }
+
+    /// Runs one benchmark as `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.settings,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, f: &mut F) {
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if settings.test_mode {
+        println!("test bench {id} ... ok");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "{id:<40} time: [{median:?}] ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Passed to benchmark closures; times the routine they hand it.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; only the routine
+    /// (not the setup) is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.settings.test_mode {
+            let input = setup();
+            let out = routine(input);
+            drop(out);
+            return;
+        }
+        // One untimed warmup to populate caches and allocators.
+        let out = routine(setup());
+        drop(out);
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            drop(out);
+            self.samples.push(elapsed);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_batched_runs_and_records() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 5,
+                measurement_time: Duration::from_millis(50),
+                test_mode: false,
+            },
+        };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        });
+        c.bench_function("counted", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= 2, "warmup + at least one sample, got {calls}");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(10),
+                test_mode: true,
+            },
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .bench_function("one", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

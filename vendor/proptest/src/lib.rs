@@ -1,0 +1,629 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate re-implements the subset of the proptest API the
+//! workspace's property tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//!   [`strategy::Just`], tuple and integer-range strategies, and
+//!   [`strategy::Union`] (backing the [`prop_oneof!`] macro);
+//! - [`arbitrary::any`] for primitive types;
+//! - [`collection::vec`] with proptest-style size ranges;
+//! - the [`proptest!`], [`prop_assert!`], and [`prop_assert_eq!`] macros and
+//!   a deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! test harness: generation is driven by a fixed-seed SplitMix64 stream (so
+//! every run explores the same cases — fully reproducible CI), and failing
+//! inputs are reported but **not shrunk**. The assertion macros and the
+//! strategy combinators preserve upstream semantics, so these tests run
+//! unchanged against the real proptest when a registry is available.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Mirrors proptest's trait of the same name, minus shrinking: a
+    /// strategy here is just a composable random generator.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy whose values are `f` applied to this
+        /// strategy's values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Returns a strategy that generates a value, feeds it to `f` to
+        /// obtain a second strategy, and generates from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value. See [`Strategy`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies with a common value type;
+    /// the engine behind [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options`. Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .finish()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! Canonical strategies for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy, produced by [`any`].
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// Returns the canonical strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// An inclusive bound on generated collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min;
+            let len = self.size.min + rng.below(span + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and execution.
+
+    use super::strategy::Strategy;
+    use std::fmt;
+
+    /// The generator driving all strategies: SplitMix64 with a fixed seed
+    /// per test, so runs are reproducible.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for the given seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed.wrapping_add(0x1234_5678_9ABC_DEF0),
+            }
+        }
+
+        /// Returns the next 64 raw bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform sample in `0..bound`. Panics if `bound` is zero.
+        #[inline]
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Runner configuration (the `ProptestConfig` of the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A default configuration with the case count replaced by `cases`.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A test-case failure raised by `prop_assert!` and friends.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.message.fmt(f)
+        }
+    }
+
+    /// A whole-test failure: the first failing case, with its input.
+    #[derive(Clone, Debug)]
+    pub struct TestError {
+        case_index: u32,
+        input: String,
+        message: String,
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "proptest case {} failed: {}\ninput: {}\n(no shrinking in the vendored proptest stand-in)",
+                self.case_index, self.message, self.input
+            )
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Runs a strategy against a test closure for `Config::cases` cases.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed generation seed.
+        pub fn new(config: Config) -> TestRunner {
+            TestRunner {
+                config,
+                rng: TestRng::new(0x0DAC_2004),
+            }
+        }
+
+        /// Generates `config.cases` inputs from `strategy` and applies
+        /// `test` to each, stopping at the first failure.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case_index in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                let repr = format!("{input:?}");
+                if let Err(e) = test(input) {
+                    return Err(TestError {
+                        case_index,
+                        input: repr,
+                        message: e.to_string(),
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supports the subset of the real macro's grammar this workspace uses: an
+/// optional leading `#![proptest_config(...)]`, then `#[test]` functions
+/// whose arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strategy,)+);
+                let outcome = runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(e) = outcome {
+                    ::core::panic!("{}", e);
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+///
+/// Supports the unweighted form only (`prop_oneof![s1, s2, ...]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`"
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`: {}",
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::new(1);
+        let mut b = crate::test_runner::TestRng::new(1);
+        let s = (0usize..100, any::<bool>());
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn union_samples_every_option() {
+        use crate::strategy::Strategy;
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::new(9);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "missing branch: {seen:?}");
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        use crate::strategy::Strategy;
+        let s = prop::collection::vec(0usize..5, 2..=6);
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(x in 0usize..10, flip in any::<bool>()) {
+            prop_assert!(x < 10);
+            let y = if flip { x + 1 } else { x + 2 };
+            prop_assert_eq!(y - x, if flip { 1 } else { 2 }, "x {} / y {} disagree", x, y);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_composes(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0usize..n, n..n + 1))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+}

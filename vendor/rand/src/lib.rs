@@ -1,0 +1,195 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate re-implements exactly the subset of the `rand` 0.8
+//! API the workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is SplitMix64 (Steele, Lea, Flood — "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): a 64-bit counter passed
+//! through a finalizer with full period 2^64 and good equidistribution. It is
+//! *not* the ChaCha12 generator of the real `StdRng`, so byte-for-byte
+//! sequences differ from upstream `rand`; everything in this workspace only
+//! relies on determinism per seed, which both provide.
+
+#![warn(missing_docs)]
+
+/// Concrete generator types (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The standard deterministic generator: SplitMix64.
+    ///
+    /// Seeded via [`crate::SeedableRng::seed_from_u64`]; every instance with
+    /// the same seed yields the same sequence.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// A random number generator that can be seeded from a `u64`.
+///
+/// Mirrors the single constructor this workspace uses from the real trait.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose sequence is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Pre-advance once so that seed 0 does not start at state 0.
+        let mut rng = StdRng { state: seed };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+impl StdRng {
+    /// Returns the next 64 raw bits from the generator.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: golden-gamma increment + murmur-style finalizer.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Ranges that can be sampled uniformly to yield a `T`.
+///
+/// Stands in for `rand`'s `SampleUniform`/`SampleRange` machinery; only the
+/// integer instantiations the workspace needs are provided. The element type
+/// is a trait *parameter* (as upstream) so that it is inferred from the call
+/// site's result context, letting `rng.gen_range(0..n)` unify the literal
+/// range with the expected output type.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range using `rng`.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+/// Integer types uniform sampling is implemented for (the stand-in's
+/// analogue of `rand`'s `SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)`. Panics on an empty range.
+    fn sample_half_open(start: Self, end: Self, rng: &mut StdRng) -> Self;
+    /// Uniform sample from `[start, end]`. Panics on an empty range.
+    fn sample_inclusive(start: Self, end: Self, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: $t, end: $t, rng: &mut StdRng) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                // Wrapping arithmetic in u64 handles signed types; modulo
+                // bias is < span/2^64: irrelevant for test workloads.
+                let span = (end as u64).wrapping_sub(start as u64);
+                (start as u64).wrapping_add(rng.next_u64() % span) as $t
+            }
+            fn sample_inclusive(start: $t, end: $t, rng: &mut StdRng) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as u64).wrapping_add(rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+/// User-facing sampling methods (mirrors `rand::Rng`).
+pub trait Rng {
+    /// Samples a value uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 uniform mantissa bits, the same construction rand uses for f64.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0i32..4);
+            assert!((0..4).contains(&y));
+            let z = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some bucket never sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 rate off: {hits}/10000");
+    }
+}
