@@ -46,14 +46,5 @@ fn bench_strategies(c: &mut Criterion) {
     }
 }
 
-fn bench_unrolling(c: &mut Criterion) {
-    // Pure encoder throughput: formula generation without solving.
-    let model = families::fifo_guarded(4);
-    c.bench_function("unroll/fifo16_k20", |b| {
-        let unroller = rbmc_core::Unroller::new(&model);
-        b.iter(|| unroller.formula(20))
-    });
-}
-
-criterion_group!(benches, bench_strategies, bench_unrolling);
+criterion_group!(benches, bench_strategies);
 criterion_main!(benches);

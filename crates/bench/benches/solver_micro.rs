@@ -40,6 +40,30 @@ fn bench_bcp(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Random 3-SAT at the phase transition: a long conflict-driven search
+    // whose learned-clause database grows to thousands of clauses, so the
+    // solve is dominated by watched-literal BCP sweeps over a cache-hostile
+    // clause DB — the number the arena layout and tombstone-free reduction
+    // are meant to move.
+    let f = random_3sat(11, 170, (170.0 * 4.26) as usize);
+    c.bench_function("bcp/random3sat_n170", |b| {
+        b.iter_batched(
+            || Solver::from_formula(&f),
+            |mut s| s.solve(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Random 3-SAT below the phase transition: few conflicts, so this
+    // isolates one propagation-and-decision sweep over a large (multi-MB)
+    // original clause DB.
+    let f = random_3sat(11, 8_000, (8_000.0 * 3.3) as usize);
+    c.bench_function("bcp/random3sat_n8000", |b| {
+        b.iter_batched(
+            || Solver::from_formula(&f),
+            |mut s| s.solve(),
+            BatchSize::SmallInput,
+        )
+    });
 }
 
 fn bench_random_3sat(c: &mut Criterion) {

@@ -6,11 +6,11 @@
 //! Output is CSV (`instance,x,y,winner`) for both configurations, followed
 //! by an ASCII rendering of the scatter and the win counts.
 //!
-//! Usage: `cargo run -p rbmc-bench --release --bin fig6 [-- --divisor N]`
+//! Usage: `cargo run -p rbmc-bench --release --bin fig6 [-- --divisor N] [--smoke]
+//! [--json-out PATH | --no-json]`
 
-use rbmc_bench::run_instance;
+use rbmc_bench::{run_instance, BenchCase, BenchReport};
 use rbmc_core::{OrderingStrategy, Weighting};
-use rbmc_gens::suite_table1;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,13 +20,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
-    let suite = suite_table1();
+    let suite = rbmc_bench::cli_suite(&args);
+    let mut report = BenchReport::new(format!("fig6 (divisor={divisor})"));
 
     let configs = [
         ("static", OrderingStrategy::RefinedStatic),
         ("dynamic", OrderingStrategy::RefinedDynamic { divisor }),
     ];
-    for (label, strategy) in configs {
+    for (ci, (label, strategy)) in configs.into_iter().enumerate() {
         println!("# Fig 6 ({label}): x = standard BMC seconds, y = refine_order seconds");
         println!("instance,x,y,decisions_bmc,decisions_new,winner");
         let mut points = Vec::new();
@@ -36,6 +37,12 @@ fn main() {
         for instance in &suite {
             let base = run_instance(instance, OrderingStrategy::Standard, Weighting::Linear);
             let new = run_instance(instance, strategy, Weighting::Linear);
+            // The baseline is (re-)measured for every config's scatter;
+            // record it in the artifact only on the first config pass.
+            if ci == 0 {
+                report.push(BenchCase::from(&base));
+            }
+            report.push(BenchCase::from(&new));
             let x = base.time.as_secs_f64();
             let y = new.time.as_secs_f64();
             let winner = if y < x { "new" } else { "bmc" };
@@ -64,6 +71,7 @@ fn main() {
             suite.len()
         );
     }
+    rbmc_bench::report::emit(&args, "fig6", &report);
 }
 
 /// ASCII scatter with a log-log grid, mirroring the paper's log-scale plot.

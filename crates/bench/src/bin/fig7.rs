@@ -7,22 +7,27 @@
 //! (pass `--instance NAME` to pick another suite member). Smaller values
 //! mean smaller search trees — the paper's explanation for the speedup.
 //!
-//! Usage: `cargo run -p rbmc-bench --release --bin fig7 [-- --instance NAME]`
+//! Usage: `cargo run -p rbmc-bench --release --bin fig7 [-- --instance NAME] [--smoke]
+//! [--json-out PATH | --no-json]`
 
-use rbmc_bench::run_instance;
+use rbmc_bench::{run_instance, BenchCase, BenchReport};
 use rbmc_core::{OrderingStrategy, Weighting};
-use rbmc_gens::suite_table1;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let suite = rbmc_bench::cli_suite(&args);
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--small");
     let wanted = args
         .iter()
         .position(|a| a == "--instance")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("11_1_shift10_twin")
+        .unwrap_or(if smoke {
+            "s6_twin4"
+        } else {
+            "11_1_shift10_twin"
+        })
         .to_string();
-    let suite = suite_table1();
     let instance = suite
         .iter()
         .find(|b| b.name == wanted)
@@ -30,6 +35,9 @@ fn main() {
 
     let base = run_instance(instance, OrderingStrategy::Standard, Weighting::Linear);
     let refined = run_instance(instance, OrderingStrategy::RefinedStatic, Weighting::Linear);
+    let mut report = BenchReport::new(format!("fig7 ({})", instance.name));
+    report.push(BenchCase::from(&base));
+    report.push(BenchCase::from(&refined));
 
     println!("# Fig 7 analog on {} (paper: 02_3_b2)", instance.name);
     println!("# x-axis: unrolling depth; series: BMC vs ref_ord_BMC");
@@ -65,4 +73,5 @@ fn main() {
         b_dec.iter().zip(&r_dec).filter(|&(b, r)| r < b).count(),
         depths
     );
+    rbmc_bench::report::emit(&args, "fig7", &report);
 }

@@ -8,28 +8,29 @@
 //! additionally report decision counts (machine-independent; the quantity
 //! Fig. 7 uses to explain the speedup).
 //!
-//! Usage: `cargo run -p rbmc-bench --release --bin table1 [-- --small] [--divisor N]`
+//! Usage: `cargo run -p rbmc-bench --release --bin table1 [-- --small] [--divisor N]
+//! [--json-out PATH | --no-json]`
 //!
 //! `--divisor N` sets the dynamic switch denominator (`#decisions >
 //! #literals / N` falls back to VSIDS). The paper's value is 64, tuned for
 //! industrial formulas of 10⁵–10⁶ literals; at this suite's scale the
 //! matching threshold needs a smaller divisor (see EXPERIMENTS.md and the
-//! `ablation_switch` bench).
+//! `ablation_switch` bench). Besides the stdout table, the run is recorded
+//! as a machine-readable `BENCH_table1.json` artifact (see `rbmc_bench::report`).
 
-use rbmc_bench::{ratio_percent, run_instance, secs};
+use rbmc_bench::{ratio_percent, run_instance, secs, BenchCase, BenchReport};
 use rbmc_core::{OrderingStrategy, Weighting};
-use rbmc_gens::{small_suite, suite_table1};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let small = args.iter().any(|a| a == "--small");
     let divisor: u32 = args
         .iter()
         .position(|a| a == "--divisor")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
-    let suite = if small { small_suite() } else { suite_table1() };
+    let suite = rbmc_bench::cli_suite(&args);
+    let mut report = BenchReport::new(format!("table1 (divisor={divisor})"));
     let table1_strategies = || {
         [
             OrderingStrategy::Standard,
@@ -62,6 +63,7 @@ fn main() {
             totals_time[i] += times[i];
             totals_dec[i] += result.decisions;
             cells.push(format!("{} ({})", secs(result.time), result.decisions));
+            report.push(BenchCase::from(&result));
         }
         // Like the paper, exclude trivial rows from the win/speedup summary
         // (the paper dropped experiments finishing under 10 s everywhere; we
@@ -144,4 +146,5 @@ fn main() {
     println!(
         "paper's totals for reference: 138k s / 86k s (62%) / 79k s (57%) on 37 IBM instances"
     );
+    rbmc_bench::report::emit(&args, "table1", &report);
 }

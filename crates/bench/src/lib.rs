@@ -12,6 +12,10 @@ use std::time::{Duration, Instant};
 use rbmc_core::{BmcEngine, BmcOptions, BmcOutcome, BmcRun, OrderingStrategy, Weighting};
 use rbmc_gens::{BenchInstance, Expectation};
 
+pub mod report;
+
+pub use report::{BenchCase, BenchReport};
+
 /// Result of running one instance under one strategy.
 #[derive(Debug, Clone)]
 pub struct InstanceResult {
@@ -94,6 +98,18 @@ pub fn run_instance(
         completed_depth: run.max_completed_depth().unwrap_or(0),
         verdict_ok,
         run,
+    }
+}
+
+/// Selects the suite a binary runs on: `--smoke` (or `--small`) picks the
+/// fast [`rbmc_gens::small_suite`], anything else the full 37-instance
+/// [`rbmc_gens::suite_table1`]. Smoke mode exists so CI can exercise the
+/// JSON-emitting binaries end-to-end in seconds.
+pub fn cli_suite(args: &[String]) -> Vec<BenchInstance> {
+    if args.iter().any(|a| a == "--smoke" || a == "--small") {
+        rbmc_gens::small_suite()
+    } else {
+        rbmc_gens::suite_table1()
     }
 }
 

@@ -1,0 +1,235 @@
+//! Machine-readable benchmark artifacts (`BENCH_*.json`).
+//!
+//! Every experiment binary writes one JSON report per run via
+//! [`write_json`], so perf PRs can diff runs instead of eyeballing stdout
+//! tables. The committed `BENCH_baseline.json` at the repository root records
+//! the reference numbers the acceptance criteria compare against.
+//!
+//! The format is deliberately flat and dependency-free (the workspace builds
+//! offline, so no serde): a report is a label plus a list of cases, each case
+//! carrying the per-run wall time and the machine-independent counters
+//! (conflicts, decisions, propagations), plus free-form numeric extras.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::InstanceResult;
+
+/// One measured case inside a [`BenchReport`].
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Instance (or micro-benchmark) name.
+    pub name: String,
+    /// Strategy or configuration label (`bmc`, `sta`, `dyn`, `cdg_on`, …).
+    pub strategy: String,
+    /// Wall-clock seconds of the run.
+    pub wall_s: f64,
+    /// Total conflicts over the run.
+    pub conflicts: u64,
+    /// Total decisions over the run.
+    pub decisions: u64,
+    /// Total propagations (implications) over the run.
+    pub propagations: u64,
+    /// Deepest completed unrolling depth.
+    pub completed_depth: usize,
+    /// Whether the verdict matched the instance's ground truth.
+    pub verdict_ok: bool,
+    /// Additional numeric metrics (name, value), e.g. CDG sizes.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl From<&InstanceResult> for BenchCase {
+    fn from(r: &InstanceResult) -> BenchCase {
+        BenchCase {
+            name: r.name.clone(),
+            strategy: r.strategy.to_string(),
+            wall_s: r.time.as_secs_f64(),
+            conflicts: r.conflicts,
+            decisions: r.decisions,
+            propagations: r.implications,
+            completed_depth: r.completed_depth,
+            verdict_ok: r.verdict_ok,
+            extra: Vec::new(),
+        }
+    }
+}
+
+/// A full benchmark report: a label plus the measured cases.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Which binary (and mode) produced the report.
+    pub label: String,
+    /// The measured cases, in run order.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Creates an empty report with the given label.
+    pub fn new(label: impl Into<String>) -> BenchReport {
+        BenchReport {
+            label: label.into(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Appends one measured case.
+    pub fn push(&mut self, case: BenchCase) {
+        self.cases.push(case);
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"rbmc-bench/v1\",");
+        let _ = writeln!(out, "  \"label\": {},", json_string(&self.label));
+        out.push_str("  \"cases\": [\n");
+        for (i, case) in self.cases.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"name\": {}, \"strategy\": {}, \"wall_s\": {}, \
+                 \"conflicts\": {}, \"decisions\": {}, \"propagations\": {}, \
+                 \"completed_depth\": {}, \"verdict_ok\": {}",
+                json_string(&case.name),
+                json_string(&case.strategy),
+                json_f64(case.wall_s),
+                case.conflicts,
+                case.decisions,
+                case.propagations,
+                case.completed_depth,
+                case.verdict_ok
+            );
+            for (key, value) in &case.extra {
+                let _ = write!(out, ", {}: {}", json_string(key), json_f64(*value));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.cases.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (finite; 6 significant decimals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes the report to `path`, creating parent directories as needed.
+pub fn write_json(path: &Path, report: &BenchReport) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, report.to_json())
+}
+
+/// Resolves where a binary should write its JSON artifact: `--json-out PATH`
+/// overrides, `--no-json` disables, otherwise `BENCH_<default_name>.json` in
+/// the current directory.
+///
+/// A `--json-out` with a missing value (end of args, or followed by another
+/// `--flag`) aborts the binary: silently writing to the default path would
+/// make a CI step looking for the requested artifact fail much later with no
+/// hint of the cause.
+pub fn json_out_path(args: &[String], default_name: &str) -> Option<PathBuf> {
+    let explicit = args
+        .iter()
+        .position(|a| a == "--json-out")
+        .map(|i| match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => PathBuf::from(path),
+            _ => {
+                eprintln!("error: --json-out requires a path argument");
+                std::process::exit(2);
+            }
+        });
+    if args.iter().any(|a| a == "--no-json") {
+        return None;
+    }
+    Some(explicit.unwrap_or_else(|| PathBuf::from(format!("BENCH_{default_name}.json"))))
+}
+
+/// Writes the report (if a path was selected) and prints where it went.
+/// Errors are reported to stderr but do not abort the experiment.
+pub fn emit(args: &[String], default_name: &str, report: &BenchReport) {
+    let Some(path) = json_out_path(args, default_name) else {
+        return;
+    };
+    match write_json(&path, report) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let mut report = BenchReport::new("test \"quoted\"");
+        report.push(BenchCase {
+            name: "case\n1".into(),
+            strategy: "bmc".into(),
+            wall_s: 0.25,
+            conflicts: 3,
+            decisions: 7,
+            propagations: 11,
+            completed_depth: 5,
+            verdict_ok: true,
+            extra: vec![("cdg_nodes".into(), 42.0)],
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"label\": \"test \\\"quoted\\\"\""));
+        assert!(json.contains("\"case\\n1\""));
+        assert!(json.contains("\"wall_s\": 0.250000"));
+        assert!(json.contains("\"cdg_nodes\": 42.000000"));
+        assert!(json.contains("\"verdict_ok\": true"));
+    }
+
+    #[test]
+    fn json_out_path_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            json_out_path(&args(&[]), "table1"),
+            Some(PathBuf::from("BENCH_table1.json"))
+        );
+        assert_eq!(
+            json_out_path(&args(&["--json-out", "out/x.json"]), "table1"),
+            Some(PathBuf::from("out/x.json"))
+        );
+        assert_eq!(json_out_path(&args(&["--no-json"]), "table1"), None);
+    }
+}

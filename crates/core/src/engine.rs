@@ -263,10 +263,11 @@ impl BmcEngine {
         let mut completed_all = true;
         for k in 0..=self.options.max_depth {
             let depth_start = Instant::now();
-            // gen_cnf_formula(M, P, k)
-            let formula = unroller.formula(k);
+            // gen_cnf_formula(M, P, k): the unroller only encodes the one
+            // new frame; the shared prefix is served from its cache and fed
+            // to the solver without materializing a fresh CnfFormula.
             // sat_check(F, varRank)
-            let mut solver = self.make_solver(&formula, &unroller, k);
+            let mut solver = self.make_solver(&unroller, k);
             let limits = self.depth_limits();
             let result = solver.solve_limited(&limits);
             let stats = solver.stats();
@@ -280,8 +281,8 @@ impl BmcEngine {
                 decisions: stats.decisions,
                 implications: stats.propagations,
                 conflicts: stats.conflicts,
-                num_vars: formula.num_vars(),
-                num_clauses: formula.num_clauses(),
+                num_vars: unroller.num_vars_at(k),
+                num_clauses: solver.num_original_clauses(),
                 core_vars,
                 switched_to_vsids: stats.switched_to_vsids,
                 cdg_nodes: stats.cdg_nodes,
@@ -324,14 +325,11 @@ impl BmcEngine {
         }
     }
 
-    /// Builds the per-depth solver: installs the strategy's order mode and
-    /// the current `varRank` (or the Shtrichman frame ranking).
-    fn make_solver(
-        &self,
-        formula: &rbmc_cnf::CnfFormula,
-        unroller: &Unroller<'_>,
-        k: usize,
-    ) -> Solver {
+    /// Builds the per-depth solver: loads `F_k` straight from the unroller's
+    /// cached clause prefix (plus the depth-`k` bad-state unit), then
+    /// installs the strategy's order mode and the current `varRank` (or the
+    /// Shtrichman frame ranking).
+    fn make_solver(&self, unroller: &Unroller<'_>, k: usize) -> Solver {
         let mut opts = self.options.solver;
         opts.order_mode = match self.options.strategy {
             OrderingStrategy::Standard => OrderMode::Standard,
@@ -339,7 +337,14 @@ impl BmcEngine {
             OrderingStrategy::RefinedDynamic { divisor } => OrderMode::Dynamic { divisor },
         };
         opts.record_cdg = self.options.strategy.needs_cores() || self.options.force_record_cdg;
-        let mut solver = Solver::from_formula_with(formula, opts);
+        let mut solver = Solver::with_options(opts);
+        solver.reserve_vars(unroller.num_vars_at(k));
+        unroller.with_prefix(k, |clauses| {
+            for clause in clauses {
+                solver.add_clause(clause.lits());
+            }
+        });
+        solver.add_clause(&[unroller.bad_lit(k)]);
         match self.options.strategy {
             OrderingStrategy::Standard => {}
             OrderingStrategy::Shtrichman => {

@@ -1,16 +1,37 @@
 //! Tseitin unrolling of the model into the CNF instances of Eq. 1, with
-//! frame-stable variable numbering.
+//! frame-stable variable numbering and an incremental clause-prefix cache.
 //!
 //! Every netlist node gets one CNF variable per time frame, at the fixed
 //! index `frame · num_nodes + node`. The variable standing for a given
 //! (node, frame) pair is therefore **identical in every instance `F_k`** —
 //! exactly the invariant the paper relies on when it transfers `varRank`
 //! from one BMC instance to the next.
+//!
+//! The same invariant makes the instances *append-only*: the clauses of
+//! frame `f` depend only on `f`, so `F_k` is the clauses of `F_{k-1}` minus
+//! its final bad-state unit, plus one new frame, plus a new bad-state unit.
+//! The unroller caches the encoded clause prefix per model and only ever
+//! encodes each frame once, turning the total encoding work of a BMC run
+//! (one instance per depth) from quadratic to linear in the depth bound.
+
+use std::cell::RefCell;
+use std::fmt;
 
 use rbmc_circuit::{GateOp, LatchInit, Node, NodeId, Signal};
-use rbmc_cnf::{CnfFormula, Lit, Var};
+use rbmc_cnf::{Clause, CnfFormula, Lit, Var};
 
 use crate::Model;
+
+/// The cached clause prefix: every frame encoded so far, in emission order,
+/// without any bad-state unit clause.
+#[derive(Clone, Default)]
+struct PrefixCache {
+    /// Clauses of frames `0..frame_end.len()`.
+    formula: CnfFormula,
+    /// Clause count after each encoded frame: `frame_end[f]` is the number
+    /// of clauses encoding frames `0..=f`.
+    frame_end: Vec<usize>,
+}
 
 /// The Eq. 1 encoder (`gen_cnf_formula` in the paper's Fig. 5).
 ///
@@ -31,18 +52,44 @@ use crate::Model;
 /// assert!(f0.num_vars() < f3.num_vars());
 /// assert_eq!(unroller.var_of(t.node(), 2), unroller.var_of(t.node(), 2));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Unroller<'a> {
     model: &'a Model,
     num_nodes: usize,
+    prefix: RefCell<PrefixCache>,
+}
+
+impl fmt::Debug for Unroller<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Unroller")
+            .field("model", &self.model.name())
+            .field("num_nodes", &self.num_nodes)
+            .field("cached_frames", &self.prefix.borrow().frame_end.len())
+            .finish()
+    }
 }
 
 impl<'a> Unroller<'a> {
-    /// Creates an unroller for the model.
+    /// Creates an unroller for the model (with an empty prefix cache).
     pub fn new(model: &'a Model) -> Unroller<'a> {
         Unroller {
             model,
             num_nodes: model.netlist().num_nodes(),
+            prefix: RefCell::new(PrefixCache::default()),
+        }
+    }
+
+    /// Extends the cached clause prefix through frame `k`. Each frame is
+    /// encoded exactly once per unroller, which is sound because frame
+    /// numbering is stable: the clauses of frame `f` are the same in every
+    /// instance `F_k` with `k ≥ f`.
+    fn ensure_frames(&self, k: usize) {
+        let mut cache = self.prefix.borrow_mut();
+        while cache.frame_end.len() <= k {
+            let frame = cache.frame_end.len();
+            self.emit_frame(frame, &mut cache.formula);
+            let end = cache.formula.num_clauses();
+            cache.frame_end.push(end);
         }
     }
 
@@ -85,6 +132,13 @@ impl<'a> Unroller<'a> {
     /// All instances share their clause prefix (except the final unit clause
     /// asserting the bad state), and their variables coincide on common
     /// frames.
+    ///
+    /// This materializes a fresh owned `CnfFormula`, which costs one
+    /// allocation per clause — as much as encoding it — so it deliberately
+    /// bypasses the prefix cache. Callers that build one instance per depth
+    /// (the BMC loop) should consume [`Unroller::with_prefix`] instead: that
+    /// path encodes every frame exactly once per unroller and lends out the
+    /// cached clauses without copying.
     pub fn formula(&self, k: usize) -> CnfFormula {
         let mut formula = CnfFormula::with_vars(self.num_vars_at(k));
         for frame in 0..=k {
@@ -93,6 +147,33 @@ impl<'a> Unroller<'a> {
         // ¬P(V^k): the bad signal holds at the last frame.
         formula.add_clause([self.lit_of(self.model.bad(), k)]);
         formula
+    }
+
+    /// Runs `consume` on the cached clauses of frames `0..=k` — everything
+    /// in `F_k` except the final unit clause [`Unroller::bad_lit`] asserts.
+    /// This is the zero-copy path [`BmcEngine`](crate::BmcEngine) feeds the
+    /// per-depth solver from.
+    ///
+    /// `consume` must not call back into cache-filling methods of the same
+    /// unroller (`formula`, `with_prefix`): the cache is borrowed for the
+    /// duration of the call. The pure index arithmetic (`var_of`, `lit_of`,
+    /// `num_vars_at`, …) is fine.
+    pub fn with_prefix<R>(&self, k: usize, consume: impl FnOnce(&[Clause]) -> R) -> R {
+        self.ensure_frames(k);
+        let cache = self.prefix.borrow();
+        consume(&cache.formula.clauses()[..cache.frame_end[k]])
+    }
+
+    /// The unit literal `¬P(V^k)` that turns the frame prefix into `F_k`.
+    pub fn bad_lit(&self, k: usize) -> Lit {
+        self.lit_of(self.model.bad(), k)
+    }
+
+    /// Number of clauses in the instance of depth `k` (prefix plus the
+    /// bad-state unit).
+    pub fn num_clauses_at(&self, k: usize) -> usize {
+        self.ensure_frames(k);
+        self.prefix.borrow().frame_end[k] + 1
     }
 
     /// Emits the constraints of one time frame: constant pinning, gate
@@ -274,6 +355,55 @@ mod tests {
                 assert_eq!(unroller.origin_of(v), (node, frame));
                 assert_eq!(unroller.frame_of(v), frame);
             }
+        }
+    }
+
+    #[test]
+    fn incremental_prefix_identical_to_fresh_encode() {
+        // The instance assembled from one long-lived unroller's prefix cache
+        // (the path BmcEngine drives) must be clause-for-clause identical to
+        // a fresh encode at every depth — ascending, then descending, so
+        // cache hits and partial reads are both covered.
+        let model = counter_model(4, 9);
+        let shared = Unroller::new(&model);
+        let rebuild = |k: usize| {
+            shared.with_prefix(k, |clauses| {
+                let mut f = CnfFormula::with_vars(shared.num_vars_at(k));
+                for clause in clauses {
+                    f.add_clause(clause.clone());
+                }
+                f.add_clause([shared.bad_lit(k)]);
+                f
+            })
+        };
+        for k in 0..12 {
+            let fresh = Unroller::new(&model).formula(k);
+            assert_eq!(rebuild(k), fresh, "ascending depth {k}");
+        }
+        for k in (0..12).rev() {
+            let fresh = Unroller::new(&model).formula(k);
+            assert_eq!(rebuild(k), fresh, "descending depth {k}");
+        }
+    }
+
+    #[test]
+    fn with_prefix_matches_formula_minus_bad_unit() {
+        let model = counter_model(3, 5);
+        let unroller = Unroller::new(&model);
+        for k in [0usize, 2, 5, 3] {
+            let f = unroller.formula(k);
+            assert_eq!(unroller.num_clauses_at(k), f.num_clauses());
+            unroller.with_prefix(k, |clauses| {
+                assert_eq!(clauses.len() + 1, f.num_clauses(), "depth {k}");
+                for (i, clause) in clauses.iter().enumerate() {
+                    assert_eq!(clause, f.clause(i), "clause {i} at depth {k}");
+                }
+            });
+            assert_eq!(
+                f.clause(f.num_clauses() - 1).lits(),
+                &[unroller.bad_lit(k)],
+                "final unit at depth {k}"
+            );
         }
     }
 

@@ -1,0 +1,283 @@
+//! Flat clause storage: a MiniSat-style arena.
+//!
+//! All clauses — original and learned — live in one contiguous `Vec<u32>` as
+//! `[header | lits…]` records addressed by a [`ClauseRef`] (the word offset
+//! of the header). BCP therefore touches one cache line per clause instead
+//! of chasing `Vec<ClauseData>` → per-clause `Vec<Lit>` pointers, and
+//! database reduction *compacts* the learned region (relocating the
+//! survivors) instead of leaving tombstones the hot path must skip.
+//!
+//! Record layout (all `u32` words):
+//!
+//! ```text
+//! word 0   len << 2 | deleted << 1 | learned
+//! word 1   activity (times used as a conflict antecedent)
+//! word 2   CDG pseudo-ID (original: input position; learned: assigned id)
+//! word 3…  literal codes (Lit::code), len of them
+//! ```
+//!
+//! Original clauses are allocated first and are never deleted, so the
+//! original region is offset-stable for the whole solve; only learned
+//! records move during [`ClauseArena::compact_learned`], which reports the
+//! relocation map so the solver can patch its `reasons` (watch lists are
+//! rebuilt wholesale — cheaper and tombstone-free).
+
+use rbmc_cnf::Lit;
+
+/// Reference to a stored clause: the word offset of its header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct ClauseRef(u32);
+
+impl ClauseRef {
+    /// Re-creates a reference from a known-valid header offset (used when
+    /// relocating references after compaction).
+    #[inline]
+    pub fn at(offset: u32) -> ClauseRef {
+        ClauseRef(offset)
+    }
+
+    /// The arena word offset of the clause header.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        self.0
+    }
+}
+
+const HEADER_WORDS: u32 = 3;
+const LEARNED_BIT: u32 = 0b01;
+const DELETED_BIT: u32 = 0b10;
+const LEN_SHIFT: u32 = 2;
+
+/// The flat clause database.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseArena {
+    data: Vec<u32>,
+}
+
+impl ClauseArena {
+    /// Creates an empty arena.
+    pub fn new() -> ClauseArena {
+        ClauseArena::default()
+    }
+
+    /// Appends a clause record and returns its reference.
+    pub fn alloc(&mut self, lits: &[Lit], learned: bool, cdg_id: u32) -> ClauseRef {
+        let cref = ClauseRef(self.data.len() as u32);
+        let flags = if learned { LEARNED_BIT } else { 0 };
+        self.data.reserve(HEADER_WORDS as usize + lits.len());
+        self.data.push((lits.len() as u32) << LEN_SHIFT | flags);
+        self.data.push(0); // activity
+        self.data.push(cdg_id);
+        self.data.extend(lits.iter().map(|l| l.code() as u32));
+        cref
+    }
+
+    /// One-past-the-end offset (where the next record will be allocated).
+    #[inline]
+    pub fn end_offset(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self, c: ClauseRef) -> usize {
+        (self.data[c.0 as usize] >> LEN_SHIFT) as usize
+    }
+
+    /// Whether the clause was learned (vs original).
+    #[inline]
+    pub fn is_learned(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize] & LEARNED_BIT != 0
+    }
+
+    /// Whether the clause is marked for deletion (transient: only between
+    /// [`Self::mark_deleted`] and the next [`Self::compact_learned`]).
+    #[inline]
+    pub fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize] & DELETED_BIT != 0
+    }
+
+    /// Marks the clause for deletion by the next compaction.
+    #[inline]
+    pub fn mark_deleted(&mut self, c: ClauseRef) {
+        self.data[c.0 as usize] |= DELETED_BIT;
+    }
+
+    /// The `i`-th literal of the clause.
+    #[inline]
+    pub fn lit(&self, c: ClauseRef, i: usize) -> Lit {
+        Lit::from_code(self.data[(c.0 + HEADER_WORDS) as usize + i] as usize)
+    }
+
+    /// Swaps two literals of the clause (BCP watch maintenance).
+    #[inline]
+    pub fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+        let base = (c.0 + HEADER_WORDS) as usize;
+        self.data.swap(base + i, base + j);
+    }
+
+    /// Current activity counter of the clause.
+    #[inline]
+    pub fn activity(&self, c: ClauseRef) -> u32 {
+        self.data[c.0 as usize + 1]
+    }
+
+    /// Sets the activity counter.
+    #[inline]
+    pub fn set_activity(&mut self, c: ClauseRef, value: u32) {
+        self.data[c.0 as usize + 1] = value;
+    }
+
+    /// Increments the activity counter (saturating).
+    #[inline]
+    pub fn bump_activity(&mut self, c: ClauseRef) {
+        let slot = &mut self.data[c.0 as usize + 1];
+        *slot = slot.saturating_add(1);
+    }
+
+    /// The clause's CDG pseudo-ID (for originals, the input position).
+    #[inline]
+    pub fn cdg_id(&self, c: ClauseRef) -> u32 {
+        self.data[c.0 as usize + 2]
+    }
+
+    /// The first clause record, if any.
+    pub fn first(&self) -> Option<ClauseRef> {
+        if self.data.is_empty() {
+            None
+        } else {
+            Some(ClauseRef(0))
+        }
+    }
+
+    /// The record following `c`, if any.
+    pub fn next(&self, c: ClauseRef) -> Option<ClauseRef> {
+        let next = c.0 + HEADER_WORDS + self.len(c) as u32;
+        if next < self.data.len() as u32 {
+            Some(ClauseRef(next))
+        } else {
+            None
+        }
+    }
+
+    /// Removes the records marked deleted at or after `first_learned`,
+    /// shifting the survivors down, and returns the relocation map
+    /// `(old offset, new offset)` of the moved survivors in increasing old
+    /// order (suitable for binary search).
+    ///
+    /// Records below `first_learned` (the original clauses) never move.
+    pub fn compact_learned(&mut self, first_learned: u32) -> Vec<(u32, u32)> {
+        let mut remap = Vec::new();
+        let mut read = first_learned as usize;
+        let mut write = first_learned as usize;
+        let end = self.data.len();
+        while read < end {
+            let header = self.data[read];
+            let record = HEADER_WORDS as usize + (header >> LEN_SHIFT) as usize;
+            if header & DELETED_BIT == 0 {
+                if read != write {
+                    self.data.copy_within(read..read + record, write);
+                    remap.push((read as u32, write as u32));
+                }
+                write += record;
+            }
+            read += record;
+        }
+        self.data.truncate(write);
+        remap
+    }
+
+    /// Halves the activity of every record at or after `first_learned`
+    /// (applied after each reduction so future reductions favour recent
+    /// relevance).
+    pub fn halve_learned_activities(&mut self, first_learned: u32) {
+        let mut cursor = first_learned as usize;
+        while cursor < self.data.len() {
+            let len = (self.data[cursor] >> LEN_SHIFT) as usize;
+            self.data[cursor + 1] /= 2;
+            cursor += HEADER_WORDS as usize + len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_cnf::Var;
+
+    fn lits(ns: &[i64]) -> Vec<Lit> {
+        ns.iter().map(|&n| Lit::from_dimacs(n)).collect()
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut arena = ClauseArena::new();
+        let a = arena.alloc(&lits(&[1, -2, 3]), false, 0);
+        let b = arena.alloc(&lits(&[-1, 4]), true, 7);
+        assert_eq!(arena.len(a), 3);
+        assert_eq!(arena.lit(a, 1), Var::new(1).negative());
+        assert!(!arena.is_learned(a));
+        assert!(arena.is_learned(b));
+        assert_eq!(arena.cdg_id(b), 7);
+        assert_eq!(arena.first(), Some(a));
+        assert_eq!(arena.next(a), Some(b));
+        assert_eq!(arena.next(b), None);
+    }
+
+    #[test]
+    fn swap_and_activity() {
+        let mut arena = ClauseArena::new();
+        let c = arena.alloc(&lits(&[1, 2, 3]), true, 0);
+        arena.swap_lits(c, 0, 2);
+        assert_eq!(arena.lit(c, 0), Lit::from_dimacs(3));
+        assert_eq!(arena.lit(c, 2), Lit::from_dimacs(1));
+        arena.bump_activity(c);
+        arena.bump_activity(c);
+        assert_eq!(arena.activity(c), 2);
+        arena.set_activity(c, 9);
+        assert_eq!(arena.activity(c), 9);
+    }
+
+    #[test]
+    fn compaction_relocates_survivors() {
+        let mut arena = ClauseArena::new();
+        let orig = arena.alloc(&lits(&[1, 2]), false, 0);
+        let first_learned = arena.end_offset();
+        let l1 = arena.alloc(&lits(&[3, 4, 5]), true, 1);
+        let l2 = arena.alloc(&lits(&[-3, -4, -5]), true, 2);
+        let l3 = arena.alloc(&lits(&[1, 5]), true, 3);
+        arena.mark_deleted(l1);
+        let remap = arena.compact_learned(first_learned);
+        // l2 and l3 shift down by one record; orig is untouched.
+        assert_eq!(remap.len(), 2);
+        assert_eq!(remap[0].0, l2.offset());
+        assert_eq!(remap[1].0, l3.offset());
+        let new_l2 = ClauseRef(remap[0].1);
+        let new_l3 = ClauseRef(remap[1].1);
+        assert_eq!(arena.lit(new_l2, 0), Lit::from_dimacs(-3));
+        assert_eq!(arena.cdg_id(new_l2), 2);
+        assert_eq!(arena.lit(new_l3, 1), Lit::from_dimacs(5));
+        assert_eq!(arena.lit(orig, 0), Lit::from_dimacs(1));
+        assert_eq!(arena.next(new_l3), None);
+    }
+
+    #[test]
+    fn empty_records_iterate() {
+        let mut arena = ClauseArena::new();
+        let t = arena.alloc(&[], false, 0); // tautology / empty clause record
+        let c = arena.alloc(&lits(&[1]), false, 1);
+        assert_eq!(arena.len(t), 0);
+        assert_eq!(arena.next(t), Some(c));
+    }
+
+    #[test]
+    fn halving_applies_to_learned_region() {
+        let mut arena = ClauseArena::new();
+        arena.alloc(&lits(&[1, 2]), false, 0);
+        let first_learned = arena.end_offset();
+        let l = arena.alloc(&lits(&[3, 4]), true, 1);
+        arena.set_activity(l, 9);
+        arena.halve_learned_activities(first_learned);
+        assert_eq!(arena.activity(l), 4);
+    }
+}

@@ -18,42 +18,57 @@ pub(crate) type ClauseId = u32;
 /// Nodes are clause pseudo-IDs; the antecedent lists are the edges. The
 /// "empty clause" node of the paper's Fig. 2 is stored separately as
 /// `final_antecedents`.
+///
+/// Antecedent lists are stored flat (one data array plus per-node end
+/// offsets) rather than as one `Vec` per node: recording a node is then an
+/// allocation-free append, which matters because the solver records a node
+/// for every level-0 implication and every learned clause.
 #[derive(Debug, Default)]
 pub(crate) struct Cdg {
-    /// Antecedent lists of *learned* clauses, indexed by
-    /// `id - num_original`. Original clauses are leaves (no antecedents).
-    antecedents: Vec<Vec<ClauseId>>,
+    /// Concatenated antecedent lists of the *learned* clauses, in node
+    /// order. Original clauses are leaves (no antecedents).
+    ant_data: Vec<ClauseId>,
+    /// `ant_ends[i]` is the end offset in `ant_data` of the list of the node
+    /// with id `num_original + i` (its start is `ant_ends[i - 1]`, or 0).
+    ant_ends: Vec<u32>,
     /// Number of original clauses: ids below this bound are leaves.
     num_original: u32,
     /// Antecedents of the final (empty-clause) conflict, once UNSAT is
     /// established.
     final_antecedents: Option<Vec<ClauseId>>,
-    /// Total antecedent edges recorded (statistics only).
-    edges: u64,
 }
 
 impl Cdg {
     /// Creates an empty CDG over `num_original` original clauses.
     pub fn new(num_original: usize) -> Cdg {
         Cdg {
-            antecedents: Vec::new(),
+            ant_data: Vec::new(),
+            ant_ends: Vec::new(),
             num_original: num_original as u32,
             final_antecedents: None,
-            edges: 0,
         }
     }
 
     /// Records a learned clause and returns its pseudo-ID.
-    pub fn record_learned(&mut self, antecedents: Vec<ClauseId>) -> ClauseId {
-        let id = self.num_original + self.antecedents.len() as u32;
-        self.edges += antecedents.len() as u64;
-        self.antecedents.push(antecedents);
+    pub fn record_learned(&mut self, antecedents: &[ClauseId]) -> ClauseId {
+        let id = self.num_original + self.ant_ends.len() as u32;
+        self.ant_data.extend_from_slice(antecedents);
+        self.ant_ends.push(self.ant_data.len() as u32);
         id
+    }
+
+    /// The antecedent list of the learned node at `idx` (id-relative).
+    fn antecedents_of(&self, idx: usize) -> &[ClauseId] {
+        let start = if idx == 0 {
+            0
+        } else {
+            self.ant_ends[idx - 1] as usize
+        };
+        &self.ant_data[start..self.ant_ends[idx] as usize]
     }
 
     /// Records the antecedents of the final conflict (the empty-clause node).
     pub fn record_final(&mut self, antecedents: Vec<ClauseId>) {
-        self.edges += antecedents.len() as u64;
         self.final_antecedents = Some(antecedents);
     }
 
@@ -65,12 +80,16 @@ impl Cdg {
 
     /// Number of learned-clause nodes.
     pub fn num_nodes(&self) -> u64 {
-        self.antecedents.len() as u64
+        self.ant_ends.len() as u64
     }
 
     /// Number of antecedent edges.
     pub fn num_edges(&self) -> u64 {
-        self.edges
+        self.ant_data.len() as u64
+            + self
+                .final_antecedents
+                .as_ref()
+                .map_or(0, |a| a.len() as u64)
     }
 
     /// Traverses the CDG backward from the final conflict and returns the
@@ -83,7 +102,7 @@ impl Cdg {
         let final_ants = self.final_antecedents.as_ref()?;
         let mut core = Vec::new();
         let mut seen_original = vec![false; self.num_original as usize];
-        let mut seen_learned = vec![false; self.antecedents.len()];
+        let mut seen_learned = vec![false; self.ant_ends.len()];
         let mut stack: Vec<ClauseId> = final_ants.clone();
         while let Some(id) = stack.pop() {
             if id < self.num_original {
@@ -96,7 +115,7 @@ impl Cdg {
                 let idx = (id - self.num_original) as usize;
                 if !seen_learned[idx] {
                     seen_learned[idx] = true;
-                    stack.extend_from_slice(&self.antecedents[idx]);
+                    stack.extend_from_slice(self.antecedents_of(idx));
                 }
             }
         }
@@ -122,9 +141,9 @@ mod tests {
         // originals: 0,1,2,3. learned 4 <- {0,1}; learned 5 <- {4,2};
         // final <- {5}. Core = {0,1,2}; clause 3 is not involved.
         let mut cdg = Cdg::new(4);
-        let l4 = cdg.record_learned(vec![0, 1]);
+        let l4 = cdg.record_learned(&[0, 1]);
         assert_eq!(l4, 4);
-        let l5 = cdg.record_learned(vec![l4, 2]);
+        let l5 = cdg.record_learned(&[l4, 2]);
         cdg.record_final(vec![l5]);
         assert_eq!(cdg.extract_core(), Some(vec![0, 1, 2]));
     }
@@ -132,9 +151,9 @@ mod tests {
     #[test]
     fn shared_antecedents_visited_once() {
         let mut cdg = Cdg::new(2);
-        let a = cdg.record_learned(vec![0, 1]);
-        let b = cdg.record_learned(vec![a, 0]);
-        let c = cdg.record_learned(vec![a, b, 1]);
+        let a = cdg.record_learned(&[0, 1]);
+        let b = cdg.record_learned(&[a, 0]);
+        let c = cdg.record_learned(&[a, b, 1]);
         cdg.record_final(vec![b, c]);
         assert_eq!(cdg.extract_core(), Some(vec![0, 1]));
         assert_eq!(cdg.num_nodes(), 3);
@@ -144,7 +163,7 @@ mod tests {
     #[test]
     fn no_final_no_core() {
         let mut cdg = Cdg::new(2);
-        cdg.record_learned(vec![0]);
+        cdg.record_learned(&[0]);
         assert_eq!(cdg.extract_core(), None);
         assert!(!cdg.has_final());
     }

@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use rbmc_cnf::{Clause, CnfFormula, Lit, Var};
 
+use crate::arena::{ClauseArena, ClauseRef};
 use crate::cdg::{Cdg, ClauseId};
 use crate::order::LitOrder;
 use crate::{LBool, Limits, OrderMode, SolverStats};
@@ -73,28 +74,36 @@ impl Default for SolverOptions {
     }
 }
 
-/// A watch list entry: the watching clause and a blocker literal whose truth
-/// lets BCP skip the clause without touching its body.
+/// A long-clause watch entry: the watching clause and a blocker literal
+/// whose truth lets BCP skip the clause without touching its body.
 #[derive(Clone, Copy, Debug)]
-struct Watch {
-    clause: u32,
+struct LongWatch {
+    clause: ClauseRef,
     blocker: Lit,
 }
 
-/// A stored clause. Original clauses keep their bodies forever; learned
-/// clauses may have their bodies deleted by database reduction (the CDG
-/// retains their pseudo-IDs).
-#[derive(Debug)]
-struct ClauseData {
-    lits: Vec<Lit>,
-    learned: bool,
-    deleted: bool,
-    /// Skipped entirely (contains both phases of a variable). Recorded for
-    /// diagnostics; tautologies are never watched and never enter cores.
-    #[allow(dead_code)]
-    tautology: bool,
-    /// Times used as an antecedent in conflict analysis (for reduction).
-    activity: u32,
+/// A binary-clause watch entry: the *other* literal of the clause is stored
+/// inline, so BCP decides unit/conflict from the watcher alone — zero clause
+/// dereferences. `clause` is only consulted as the reason/conflict reference.
+#[derive(Clone, Copy, Debug)]
+struct BinWatch {
+    clause: ClauseRef,
+    implied: Lit,
+}
+
+/// The two-tier watch lists of one literal: binary clauses (implied literal
+/// inline) and long clauses (blocker watches over the arena).
+#[derive(Debug, Default)]
+struct WatchLists {
+    bins: Vec<BinWatch>,
+    longs: Vec<LongWatch>,
+}
+
+impl WatchLists {
+    fn clear(&mut self) {
+        self.bins.clear();
+        self.longs.clear();
+    }
 }
 
 /// A Chaff-style CDCL SAT solver (see the crate docs for the feature list).
@@ -119,17 +128,25 @@ struct ClauseData {
 /// ```
 pub struct Solver {
     opts: SolverOptions,
-    clauses: Vec<ClauseData>,
-    /// Clauses `0..num_original` are the input formula (ids match input
-    /// order); the rest are learned.
+    /// Flat clause storage: originals first (offset-stable), learned after.
+    /// CDG pseudo-IDs live in the record headers (original ids coincide with
+    /// their input position; learned clauses get fresh ids, interleaved with
+    /// the virtual unit-fact nodes).
+    clauses: ClauseArena,
+    /// Arena reference of each original clause, indexed by input position.
+    original_refs: Vec<ClauseRef>,
+    /// Number of original (input) clauses.
     num_original: usize,
+    /// Arena offset where the learned region starts (set at the first solve
+    /// call; the original region below it never moves).
+    first_learned: u32,
     /// Total literal occurrences in the original formula — the paper's
     /// "number of original literals" used by the dynamic switch.
     num_original_lits: u64,
-    watches: Vec<Vec<Watch>>,
+    watches: Vec<WatchLists>,
     values: Vec<LBool>,
     levels: Vec<u32>,
-    reasons: Vec<Option<u32>>,
+    reasons: Vec<Option<ClauseRef>>,
     /// CDG node standing for the level-0 unit fact of a variable.
     unit_node: Vec<Option<ClauseId>>,
     trail: Vec<Lit>,
@@ -137,17 +154,13 @@ pub struct Solver {
     qhead: usize,
     order: LitOrder,
     cdg: Cdg,
-    /// CDG pseudo-ID of each stored clause (original ids coincide with their
-    /// input position; learned clauses get fresh ids, interleaved with the
-    /// virtual unit-fact nodes). Only maintained when `record_cdg` is on.
-    cdg_ids: Vec<ClauseId>,
     stats: SolverStats,
     /// Ranking installed by [`Solver::set_var_ranking`], applied at setup.
     bmc_scores: Vec<u64>,
     /// Pending unit original clauses, enqueued at setup.
-    pending_units: Vec<u32>,
+    pending_units: Vec<ClauseRef>,
     /// An empty original clause, if one was added.
-    empty_clause: Option<u32>,
+    empty_clause: Option<ClauseRef>,
     result: Option<SolveResult>,
     model: Option<Vec<bool>>,
     core: Option<Vec<usize>>,
@@ -161,6 +174,11 @@ pub struct Solver {
     reduce_threshold: u64,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Scratch antecedent list of level-0 unit-fact CDG nodes (reused so a
+    /// level-0 implication records its node allocation-free).
+    unit_ants: Vec<ClauseId>,
+    /// Scratch antecedent list of conflict analysis.
+    conflict_ants: Vec<ClauseId>,
 }
 
 impl fmt::Debug for Solver {
@@ -190,8 +208,10 @@ impl Solver {
     pub fn with_options(opts: SolverOptions) -> Solver {
         Solver {
             opts,
-            clauses: Vec::new(),
+            clauses: ClauseArena::new(),
+            original_refs: Vec::new(),
             num_original: 0,
+            first_learned: 0,
             num_original_lits: 0,
             watches: Vec::new(),
             values: Vec::new(),
@@ -203,7 +223,6 @@ impl Solver {
             qhead: 0,
             order: LitOrder::new(0),
             cdg: Cdg::new(0),
-            cdg_ids: Vec::new(),
             stats: SolverStats::new(),
             bmc_scores: Vec::new(),
             pending_units: Vec::new(),
@@ -219,6 +238,8 @@ impl Solver {
             live_learned: 0,
             reduce_threshold: opts.reduce_base,
             seen: Vec::new(),
+            unit_ants: Vec::new(),
+            conflict_ants: Vec::new(),
         }
     }
 
@@ -247,7 +268,7 @@ impl Solver {
         self.reasons.resize(num_vars, None);
         self.unit_node.resize(num_vars, None);
         self.seen.resize(num_vars, false);
-        self.watches.resize(2 * num_vars, Vec::new());
+        self.watches.resize_with(2 * num_vars, WatchLists::default);
         self.order.grow(num_vars);
     }
 
@@ -288,7 +309,6 @@ impl Solver {
             !self.started,
             "clauses must be added before the first solve call"
         );
-        let cref = self.clauses.len() as u32;
         // The raw literal count feeds both the initial cha_score and the
         // dynamic-switch threshold.
         self.num_original_lits += lits.len() as u64;
@@ -303,26 +323,23 @@ impl Solver {
             None => (Vec::new(), true),
             Some(n) => (n.into_lits(), false),
         };
-        if !tautology {
+        // An original clause's CDG pseudo-ID is its input position.
+        let cref = self
+            .clauses
+            .alloc(&stored, false, self.original_refs.len() as u32);
+        self.original_refs.push(cref);
+        if tautology {
+            self.stats.tautologies += 1;
+        } else {
             match stored.len() {
                 0 => {
                     self.empty_clause.get_or_insert(cref);
                 }
                 1 => self.pending_units.push(cref),
-                _ => {
-                    self.watch(stored[0], cref, stored[1]);
-                    self.watch(stored[1], cref, stored[0]);
-                }
+                _ => self.watch_clause(cref, stored.len(), stored[0], stored[1]),
             }
         }
-        self.clauses.push(ClauseData {
-            lits: stored,
-            learned: false,
-            deleted: false,
-            tautology,
-            activity: 0,
-        });
-        self.num_original = self.clauses.len();
+        self.num_original = self.original_refs.len();
     }
 
     /// Installs the per-variable `bmc_score` ranking (§3.2). Scores default
@@ -370,12 +387,10 @@ impl Solver {
         if !self.started {
             self.started = true;
             self.cdg = Cdg::new(self.num_original);
-            if self.opts.record_cdg {
-                // Original clause ids coincide with their CDG leaf ids.
-                self.cdg_ids = (0..self.num_original as u32).collect();
-            }
+            self.first_learned = self.clauses.end_offset();
             if let Some(empty) = self.empty_clause {
-                self.finish_unsat(vec![empty]);
+                let id = self.clauses.cdg_id(empty);
+                self.finish_unsat(vec![id]);
                 return SolveResult::Unsat;
             }
             let use_bmc = !matches!(self.opts.order_mode, OrderMode::Standard);
@@ -386,7 +401,7 @@ impl Solver {
             // Enqueue the input unit clauses at level 0.
             for i in 0..self.pending_units.len() {
                 let cref = self.pending_units[i];
-                let lit = self.clauses[cref as usize].lits[0];
+                let lit = self.clauses.lit(cref, 0);
                 match self.values[lit.var().index()].xor(lit.is_negative()) {
                     LBool::Undef => self.enqueue(lit, Some(cref)),
                     LBool::True => {}
@@ -449,8 +464,9 @@ impl Solver {
         let core = self.core.as_ref()?;
         let mut seen = vec![false; self.num_vars()];
         for &ci in core {
-            for lit in &self.clauses[ci].lits {
-                seen[lit.var().index()] = true;
+            let cref = self.original_refs[ci];
+            for i in 0..self.clauses.len(cref) {
+                seen[self.clauses.lit(cref, i).var().index()] = true;
             }
         }
         Some(
@@ -484,15 +500,37 @@ impl Solver {
         self.values[lit.var().index()].xor(lit.is_negative())
     }
 
-    fn watch(&mut self, lit: Lit, clause: u32, blocker: Lit) {
-        self.watches[lit.code()].push(Watch { clause, blocker });
+    /// Registers the watches of a `len`-literal clause whose current watch
+    /// pair is `l0`/`l1`: binary clauses go to the inline tier, longer
+    /// clauses to the blocker tier.
+    fn watch_clause(&mut self, cref: ClauseRef, len: usize, l0: Lit, l1: Lit) {
+        debug_assert!(len >= 2);
+        if len == 2 {
+            self.watches[l0.code()].bins.push(BinWatch {
+                clause: cref,
+                implied: l1,
+            });
+            self.watches[l1.code()].bins.push(BinWatch {
+                clause: cref,
+                implied: l0,
+            });
+        } else {
+            self.watches[l0.code()].longs.push(LongWatch {
+                clause: cref,
+                blocker: l1,
+            });
+            self.watches[l1.code()].longs.push(LongWatch {
+                clause: cref,
+                blocker: l0,
+            });
+        }
     }
 
     /// Assigns `lit` true at the current level with the given reason clause.
     ///
     /// At level 0 this also materializes the literal's unit node in the CDG
     /// so later proofs can cite the fact (see module docs of `cdg`).
-    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) {
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
         let v = lit.var().index();
         debug_assert!(self.values[v].is_undef());
         self.values[v] = LBool::from(lit.is_positive());
@@ -504,30 +542,50 @@ impl Solver {
         }
         if self.opts.record_cdg && self.decision_level() == 0 {
             let reason = reason.expect("level-0 assignments are always implied");
-            let mut ants = vec![self.cdg_ids[reason as usize]];
-            // Clone to appease the borrow checker; level-0 reasons are short.
-            let reason_lits = self.clauses[reason as usize].lits.clone();
-            for other in reason_lits {
+            self.unit_ants.clear();
+            self.unit_ants.push(self.clauses.cdg_id(reason));
+            for i in 0..self.clauses.len(reason) {
+                let other = self.clauses.lit(reason, i);
                 if other.var() != lit.var() {
                     let node = self.unit_node[other.var().index()]
                         .expect("supporting level-0 fact was recorded earlier");
-                    ants.push(node);
+                    self.unit_ants.push(node);
                 }
             }
-            let node = self.cdg.record_learned(ants);
+            let node = self.cdg.record_learned(&self.unit_ants);
             self.unit_node[v] = Some(node);
         }
     }
 
     /// Watched-literal BCP. Returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<u32> {
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let false_lit = !p;
-            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
-            let mut i = 0;
             let mut conflict = None;
+
+            // Binary tier: unit/conflict decided from the watcher alone.
+            let bins = std::mem::take(&mut self.watches[false_lit.code()].bins);
+            for w in &bins {
+                match self.lit_value(w.implied) {
+                    LBool::True => {}
+                    LBool::Undef => self.enqueue(w.implied, Some(w.clause)),
+                    LBool::False => {
+                        conflict = Some(w.clause);
+                        break;
+                    }
+                }
+            }
+            self.watches[false_lit.code()].bins = bins;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+
+            // Long tier: blocker watches over the arena.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()].longs);
+            let mut i = 0;
             'watches: while i < ws.len() {
                 let w = ws[i];
                 // A true blocker satisfies the clause.
@@ -535,29 +593,25 @@ impl Solver {
                     i += 1;
                     continue;
                 }
-                let cref = w.clause as usize;
-                if self.clauses[cref].deleted {
-                    ws.swap_remove(i);
-                    continue;
-                }
+                let cref = w.clause;
                 // Put the false literal in slot 1.
-                if self.clauses[cref].lits[0] == false_lit {
-                    self.clauses[cref].lits.swap(0, 1);
+                if self.clauses.lit(cref, 0) == false_lit {
+                    self.clauses.swap_lits(cref, 0, 1);
                 }
-                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
-                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.clauses.lit(cref, 1), false_lit);
+                let first = self.clauses.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     ws[i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a replacement watch.
-                for k in 2..self.clauses[cref].lits.len() {
-                    let candidate = self.clauses[cref].lits[k];
+                for k in 2..self.clauses.len(cref) {
+                    let candidate = self.clauses.lit(cref, k);
                     if self.lit_value(candidate) != LBool::False {
-                        self.clauses[cref].lits.swap(1, k);
-                        self.watches[candidate.code()].push(Watch {
-                            clause: w.clause,
+                        self.clauses.swap_lits(cref, 1, k);
+                        self.watches[candidate.code()].longs.push(LongWatch {
+                            clause: cref,
                             blocker: first,
                         });
                         ws.swap_remove(i);
@@ -566,14 +620,14 @@ impl Solver {
                 }
                 // No replacement: unit or conflict on `first`.
                 if self.lit_value(first) == LBool::False {
-                    conflict = Some(w.clause);
+                    conflict = Some(cref);
                     self.qhead = self.trail.len();
                     break;
                 }
-                self.enqueue(first, Some(w.clause));
+                self.enqueue(first, Some(cref));
                 i += 1;
             }
-            self.watches[false_lit.code()] = ws;
+            self.watches[false_lit.code()].longs = ws;
             if conflict.is_some() {
                 return conflict;
             }
@@ -582,9 +636,9 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis, clause learning, and backjumping.
-    fn handle_conflict(&mut self, conflict: u32) {
+    fn handle_conflict(&mut self, conflict: ClauseRef) {
         let current_level = self.decision_level();
-        let mut antecedents: Vec<ClauseId> = Vec::new();
+        self.conflict_ants.clear();
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot 0 = asserting literal
         let mut path_count = 0usize;
         let mut index = self.trail.len();
@@ -593,14 +647,13 @@ impl Solver {
 
         loop {
             if self.opts.record_cdg {
-                antecedents.push(self.cdg_ids[confl as usize]);
+                self.conflict_ants.push(self.clauses.cdg_id(confl));
             }
-            self.clauses[confl as usize].activity =
-                self.clauses[confl as usize].activity.saturating_add(1);
+            self.clauses.bump_activity(confl);
             // The clause body is present: reasons of assigned literals and the
             // conflicting clause are never deleted (locked or just used).
-            for j in 0..self.clauses[confl as usize].lits.len() {
-                let q = self.clauses[confl as usize].lits[j];
+            for j in 0..self.clauses.len(confl) {
+                let q = self.clauses.lit(confl, j);
                 if Some(q) == resolve_lit {
                     continue;
                 }
@@ -614,7 +667,7 @@ impl Solver {
                     if self.opts.record_cdg {
                         let node =
                             self.unit_node[v].expect("root-level assignment has a unit node");
-                        antecedents.push(node);
+                        self.conflict_ants.push(node);
                     }
                     continue;
                 }
@@ -663,29 +716,24 @@ impl Solver {
         self.backtrack(backtrack_level);
 
         // Store the learned clause, watch it, propagate its asserting literal.
-        let cref = self.clauses.len() as u32;
         self.stats.learned += 1;
         self.stats.learned_literals += learnt.len() as u64;
         self.live_learned += 1;
         self.order.on_learned_clause(&learnt);
-        if self.opts.record_cdg {
-            let id = self.cdg.record_learned(antecedents);
-            self.cdg_ids.push(id);
+        let cdg_id = if self.opts.record_cdg {
+            let id = self.cdg.record_learned(&self.conflict_ants);
             self.stats.cdg_nodes = self.cdg.num_nodes();
             self.stats.cdg_edges = self.cdg.num_edges();
-        }
+            id
+        } else {
+            ClauseId::MAX
+        };
+        let cref = self.clauses.alloc(&learnt, true, cdg_id);
+        self.clauses.set_activity(cref, 1);
         if learnt.len() >= 2 {
-            self.watch(learnt[0], cref, learnt[1]);
-            self.watch(learnt[1], cref, learnt[0]);
+            self.watch_clause(cref, learnt.len(), learnt[0], learnt[1]);
         }
         let asserting = learnt[0];
-        self.clauses.push(ClauseData {
-            lits: learnt,
-            learned: true,
-            deleted: false,
-            tautology: false,
-            activity: 1,
-        });
         self.enqueue(asserting, Some(cref));
     }
 
@@ -731,42 +779,79 @@ impl Solver {
     }
 
     /// Deletes the less relevant half of the learned clauses (by activity,
-    /// then recency). Locked clauses (reasons of current assignments) and
-    /// short clauses are kept. Bodies are freed; CDG pseudo-IDs survive.
+    /// then recency) and compacts the arena, relocating the survivors so the
+    /// learned region stays contiguous — no tombstones for BCP to skip.
+    /// Locked clauses (reasons of current assignments) and short clauses are
+    /// kept. Bodies are freed; CDG pseudo-IDs survive in the headers.
     fn reduce_learned_db(&mut self) {
-        let mut candidates: Vec<(u32, u32)> = Vec::new(); // (activity, cref)
-        for (i, c) in self.clauses.iter().enumerate().skip(self.num_original) {
-            if c.deleted || !c.learned || c.lits.len() <= 2 {
+        // (activity, cref) over unlocked long learned clauses.
+        let mut candidates: Vec<(u32, ClauseRef)> = Vec::new();
+        let mut cursor = if self.first_learned < self.clauses.end_offset() {
+            Some(ClauseRef::at(self.first_learned))
+        } else {
+            None
+        };
+        while let Some(cref) = cursor {
+            cursor = self.clauses.next(cref);
+            debug_assert!(self.clauses.is_learned(cref));
+            if self.clauses.len(cref) <= 2 || self.is_locked(cref) {
                 continue;
             }
-            if self.is_locked(i as u32) {
-                continue;
-            }
-            candidates.push((c.activity, i as u32));
+            candidates.push((self.clauses.activity(cref), cref));
         }
         candidates.sort_unstable();
         let to_delete = candidates.len() / 2;
         for &(_, cref) in candidates.iter().take(to_delete) {
-            let c = &mut self.clauses[cref as usize];
-            c.deleted = true;
-            c.lits = Vec::new();
-            c.activity = 0;
+            self.clauses.mark_deleted(cref);
             self.live_learned -= 1;
             self.stats.deleted += 1;
         }
+
+        // Compact the learned region and patch the relocated references.
+        let remap = self.clauses.compact_learned(self.first_learned);
+        self.stats.compactions += 1;
+        if !remap.is_empty() {
+            for reason in self.reasons.iter_mut().flatten() {
+                if reason.offset() >= self.first_learned {
+                    if let Ok(i) = remap.binary_search_by_key(&reason.offset(), |&(old, _)| old) {
+                        *reason = ClauseRef::at(remap[i].1);
+                    }
+                }
+            }
+        }
         // Halve activities so future reductions favour recent relevance.
-        for c in self.clauses.iter_mut().skip(self.num_original) {
-            c.activity /= 2;
+        self.clauses.halve_learned_activities(self.first_learned);
+        self.rebuild_watches();
+    }
+
+    /// Rebuilds every watch list from the (compacted) arena. The watch pair
+    /// of each clause is its literal slots 0 and 1, which BCP keeps current,
+    /// so the rebuilt lists preserve the watch invariant mid-search.
+    fn rebuild_watches(&mut self) {
+        for wl in &mut self.watches {
+            wl.clear();
+        }
+        let mut cursor = self.clauses.first();
+        while let Some(cref) = cursor {
+            cursor = self.clauses.next(cref);
+            debug_assert!(
+                !self.clauses.is_deleted(cref),
+                "compaction left a tombstone"
+            );
+            let len = self.clauses.len(cref);
+            if len >= 2 {
+                let (l0, l1) = (self.clauses.lit(cref, 0), self.clauses.lit(cref, 1));
+                self.watch_clause(cref, len, l0, l1);
+            }
         }
     }
 
     /// A clause is locked while it is the reason of its asserting literal.
-    fn is_locked(&self, cref: u32) -> bool {
-        let c = &self.clauses[cref as usize];
-        if c.lits.is_empty() {
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        if self.clauses.len(cref) == 0 {
             return false;
         }
-        let first = c.lits[0];
+        let first = self.clauses.lit(cref, 0);
         self.lit_value(first) == LBool::True && self.reasons[first.var().index()] == Some(cref)
     }
 
@@ -833,10 +918,11 @@ impl Solver {
     /// Records the final (empty-clause) conflict: the conflicting clause plus
     /// the root-level unit facts of each of its literals, then extracts the
     /// core.
-    fn record_conflict_clause_final(&mut self, conflict: u32) {
+    fn record_conflict_clause_final(&mut self, conflict: ClauseRef) {
         if self.opts.record_cdg {
-            let mut ants = vec![self.cdg_ids[conflict as usize]];
-            for lit in &self.clauses[conflict as usize].lits {
+            let mut ants = vec![self.clauses.cdg_id(conflict)];
+            for i in 0..self.clauses.len(conflict) {
+                let lit = self.clauses.lit(conflict, i);
                 if let Some(node) = self.unit_node[lit.var().index()] {
                     ants.push(node);
                 }

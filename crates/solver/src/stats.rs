@@ -34,6 +34,13 @@ pub struct SolverStats {
     /// Number of learned clauses whose bodies were deleted by clause-database
     /// reduction. Their CDG pseudo-IDs survive (§3.1).
     pub deleted: u64,
+    /// Number of input clauses skipped as tautologies (both phases of a
+    /// variable); they are never watched and never enter cores.
+    pub tautologies: u64,
+    /// Number of arena compactions performed by clause-database reduction
+    /// (each one relocates the surviving learned clauses and rebuilds the
+    /// watch lists).
+    pub compactions: u64,
     /// Number of literals in all learned clauses (for overhead accounting).
     pub learned_literals: u64,
     /// Number of VSIDS halving rounds applied to `cha_score`.
@@ -62,6 +69,8 @@ impl SolverStats {
         self.restarts += other.restarts;
         self.learned += other.learned;
         self.deleted += other.deleted;
+        self.tautologies += other.tautologies;
+        self.compactions += other.compactions;
         self.learned_literals += other.learned_literals;
         self.score_halvings += other.score_halvings;
         self.switched_to_vsids |= other.switched_to_vsids;
