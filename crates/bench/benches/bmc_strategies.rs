@@ -35,6 +35,9 @@ fn bench_strategies(c: &mut Criterion) {
                         BmcOptions {
                             max_depth: depth,
                             strategy,
+                            // Compare orderings in the paper's regime; the
+                            // session's clause reuse would mask the gap.
+                            reuse: rbmc_core::SolverReuse::Fresh,
                             ..BmcOptions::default()
                         },
                     );

@@ -1,0 +1,167 @@
+//! Depth-sweep comparison of the two solver regimes: the paper's fresh
+//! solver per depth ([`SolverReuse::Fresh`]) vs one persistent incremental
+//! session ([`SolverReuse::Session`]).
+//!
+//! Every **passing** instance of the selected suite is swept to a fixed
+//! depth bound (k = 20; 8 in smoke mode) under both regimes — passing
+//! properties maximize the work a session can reuse, since every depth is
+//! UNSAT and contributes learned clauses to the next. The binary **fails**
+//! (exits non-zero via assertion) if the two regimes disagree on any
+//! per-depth verdict or on the completed depth, so CI can run it as the
+//! fresh-vs-session differential gate; wall times are the median of
+//! several repetitions and land in `BENCH_incremental.json`, where the
+//! session rows carry a `speedup` extra (fresh median / session median).
+//!
+//! Usage: `cargo run -p rbmc-bench --release --bin incremental_session
+//! [-- --smoke] [--json-out PATH | --no-json]`
+//! (The binary cannot be called just `incremental`: cargo reserves that
+//! target name for its build directory. The artifact keeps the short name,
+//! `BENCH_incremental.json`.)
+
+use std::time::Instant;
+
+use rbmc_bench::{secs, BenchCase, BenchReport};
+use rbmc_core::{
+    BmcEngine, BmcOptions, BmcOutcome, BmcRun, OrderingStrategy, SolveResult, SolverReuse,
+};
+use rbmc_gens::{BenchInstance, Expectation};
+
+/// One regime's measurement on one instance.
+struct Sweep {
+    median_wall_s: f64,
+    run: BmcRun,
+}
+
+fn sweep(instance: &BenchInstance, depth: usize, reuse: SolverReuse, reps: usize) -> Sweep {
+    let mut times = Vec::with_capacity(reps);
+    let mut last_run = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut engine = BmcEngine::new(
+            instance.model.clone(),
+            BmcOptions {
+                max_depth: depth,
+                strategy: OrderingStrategy::Standard,
+                reuse,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        times.push(start.elapsed().as_secs_f64());
+        last_run = Some(run);
+    }
+    let run = last_run.expect("at least one repetition ran");
+    match &run.outcome {
+        BmcOutcome::BoundReached { depth_completed } => {
+            assert_eq!(
+                *depth_completed,
+                depth,
+                "{} [{}]: sweep did not reach the bound",
+                instance.name,
+                reuse.label()
+            );
+        }
+        other => panic!(
+            "{} [{}]: passing instance produced {other}",
+            instance.name,
+            reuse.label()
+        ),
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    Sweep {
+        median_wall_s: times[times.len() / 2],
+        run,
+    }
+}
+
+fn case(
+    instance: &BenchInstance,
+    reuse: SolverReuse,
+    s: &Sweep,
+    extra: Vec<(String, f64)>,
+) -> BenchCase {
+    let stats = &s.run.solver_stats;
+    let mut extras = vec![
+        ("solve_calls".into(), stats.solve_calls as f64),
+        (
+            "assumption_conflicts".into(),
+            stats.assumption_conflicts as f64,
+        ),
+        ("learned_retained".into(), stats.learned_retained as f64),
+    ];
+    extras.extend(extra);
+    BenchCase {
+        name: instance.name.clone(),
+        strategy: reuse.label().to_string(),
+        wall_s: s.median_wall_s,
+        conflicts: s.run.total_conflicts(),
+        decisions: s.run.total_decisions(),
+        propagations: s.run.total_implications(),
+        completed_depth: s.run.max_completed_depth().unwrap_or(0),
+        verdict_ok: true,
+        extra: extras,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--small");
+    let depth = if smoke { 8 } else { 20 };
+    let reps = if smoke { 1 } else { 5 };
+    let instances: Vec<BenchInstance> = rbmc_bench::cli_suite(&args)
+        .into_iter()
+        .filter(|i| matches!(i.expectation, Expectation::Holds))
+        .collect();
+    let mut report = BenchReport::new(format!(
+        "incremental session vs fresh per depth (k={depth}, median of {reps})"
+    ));
+
+    println!("Incremental solving session vs fresh solver per depth (k = {depth})\n");
+    println!(
+        "{:<20} {:>11} {:>11} {:>8} {:>12} {:>10}",
+        "model", "fresh (s)", "session (s)", "speedup", "sess. confl", "retained"
+    );
+
+    let mut total_fresh = 0.0;
+    let mut total_session = 0.0;
+    for instance in &instances {
+        let fresh = sweep(instance, depth, SolverReuse::Fresh, reps);
+        let session = sweep(instance, depth, SolverReuse::Session, reps);
+        // The differential gate: identical per-depth verdict sequences.
+        let verdicts =
+            |run: &BmcRun| -> Vec<SolveResult> { run.per_depth.iter().map(|d| d.result).collect() };
+        assert_eq!(
+            verdicts(&fresh.run),
+            verdicts(&session.run),
+            "{}: fresh and session regimes diverged",
+            instance.name
+        );
+        let speedup = fresh.median_wall_s / session.median_wall_s.max(1e-12);
+        total_fresh += fresh.median_wall_s;
+        total_session += session.median_wall_s;
+        println!(
+            "{:<20} {:>11} {:>11} {:>7.2}x {:>12} {:>10}",
+            instance.name,
+            secs(std::time::Duration::from_secs_f64(fresh.median_wall_s)),
+            secs(std::time::Duration::from_secs_f64(session.median_wall_s)),
+            speedup,
+            session.run.solver_stats.assumption_conflicts,
+            session.run.solver_stats.learned_retained,
+        );
+        report.push(case(instance, SolverReuse::Fresh, &fresh, Vec::new()));
+        report.push(case(
+            instance,
+            SolverReuse::Session,
+            &session,
+            vec![("speedup".into(), speedup)],
+        ));
+    }
+
+    println!(
+        "\nTOTAL median wall: fresh {:.3} s, session {:.3} s ({:.2}x)",
+        total_fresh,
+        total_session,
+        total_fresh / total_session.max(1e-12)
+    );
+    rbmc_bench::report::emit(&args, "incremental", &report);
+}

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use rbmc_bench::{BenchCase, BenchReport};
-use rbmc_core::{BmcEngine, BmcOptions, BmcOutcome, OrderingStrategy};
+use rbmc_core::{BmcEngine, BmcOptions, BmcOutcome, OrderingStrategy, SolverReuse};
 use rbmc_gens::Expectation;
 
 fn main() {
@@ -42,6 +42,9 @@ fn main() {
                     BmcOptions {
                         max_depth: instance.max_depth,
                         strategy: OrderingStrategy::Standard,
+                        // The §3.1 overhead claim is about the paper's
+                        // fresh-per-depth regime.
+                        reuse: SolverReuse::Fresh,
                         force_record_cdg: record,
                         ..BmcOptions::default()
                     },

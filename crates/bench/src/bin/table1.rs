@@ -9,17 +9,22 @@
 //! Fig. 7 uses to explain the speedup).
 //!
 //! Usage: `cargo run -p rbmc-bench --release --bin table1 [-- --small] [--divisor N]
-//! [--json-out PATH | --no-json]`
+//! [--reuse fresh|session] [--json-out PATH | --no-json]`
 //!
 //! `--divisor N` sets the dynamic switch denominator (`#decisions >
 //! #literals / N` falls back to VSIDS). The paper's value is 64, tuned for
 //! industrial formulas of 10⁵–10⁶ literals; at this suite's scale the
 //! matching threshold needs a smaller divisor (see EXPERIMENTS.md and the
-//! `ablation_switch` bench). Besides the stdout table, the run is recorded
+//! `ablation_switch` bench). `--reuse` selects the solver regime: `fresh`
+//! (default — the paper's fresh-solver-per-depth setup, comparable with
+//! `BENCH_baseline.json`) or `session` (one incremental solver across all
+//! depths; the ground-truth assertion inside `run_instance_with` guarantees
+//! both regimes reach identical verdicts and completed depths, and CI runs
+//! the smoke suite in both). Besides the stdout table, the run is recorded
 //! as a machine-readable `BENCH_table1.json` artifact (see `rbmc_bench::report`).
 
-use rbmc_bench::{ratio_percent, run_instance, secs, BenchCase, BenchReport};
-use rbmc_core::{OrderingStrategy, Weighting};
+use rbmc_bench::{ratio_percent, run_instance_with, secs, BenchCase, BenchReport};
+use rbmc_core::{OrderingStrategy, SolverReuse, Weighting};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,8 +34,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let reuse = rbmc_bench::cli_reuse(&args, SolverReuse::Fresh);
     let suite = rbmc_bench::cli_suite(&args);
-    let mut report = BenchReport::new(format!("table1 (divisor={divisor})"));
+    let mut report = BenchReport::new(format!(
+        "table1 (divisor={divisor}, reuse={})",
+        reuse.label()
+    ));
     let table1_strategies = || {
         [
             OrderingStrategy::Standard,
@@ -39,7 +48,11 @@ fn main() {
         ]
     };
 
-    println!("Table 1: BMC vs refine_order BMC (static and dynamic, divisor={divisor})");
+    println!(
+        "Table 1: BMC vs refine_order BMC (static and dynamic, divisor={divisor}, \
+         reuse={})",
+        reuse.label()
+    );
     println!("(times in seconds; decisions in parentheses; (k) = depth bound)\n");
     println!(
         "{:<20} {:>3} {:>5}  {:>12} {:>14} {:>14}",
@@ -57,7 +70,7 @@ fn main() {
         let mut times = [0.0f64; 3];
         let mut decisions = [0u64; 3];
         for (i, strategy) in table1_strategies().into_iter().enumerate() {
-            let result = run_instance(instance, strategy, Weighting::Linear);
+            let result = run_instance_with(instance, strategy, Weighting::Linear, reuse);
             times[i] = result.time.as_secs_f64();
             decisions[i] = result.decisions;
             totals_time[i] += times[i];

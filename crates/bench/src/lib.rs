@@ -9,7 +9,9 @@
 
 use std::time::{Duration, Instant};
 
-use rbmc_core::{BmcEngine, BmcOptions, BmcOutcome, BmcRun, OrderingStrategy, Weighting};
+use rbmc_core::{
+    BmcEngine, BmcOptions, BmcOutcome, BmcRun, OrderingStrategy, SolverReuse, Weighting,
+};
 use rbmc_gens::{BenchInstance, Expectation};
 
 pub mod report;
@@ -41,8 +43,13 @@ pub struct InstanceResult {
     pub run: BmcRun,
 }
 
-/// Runs one benchmark instance under the given strategy and verifies the
-/// verdict against the instance's ground truth.
+/// Runs one benchmark instance under the given strategy in the paper's
+/// fresh-solver-per-depth regime and verifies the verdict against the
+/// instance's ground truth. The experiment binaries that regenerate the
+/// paper's tables and figures go through this entry point, so their numbers
+/// stay comparable with the paper (and with `BENCH_baseline.json`); pass a
+/// reuse mode explicitly via [`run_instance_with`] to measure the
+/// incremental session instead.
 ///
 /// # Panics
 ///
@@ -53,6 +60,20 @@ pub fn run_instance(
     strategy: OrderingStrategy,
     weighting: Weighting,
 ) -> InstanceResult {
+    run_instance_with(instance, strategy, weighting, SolverReuse::Fresh)
+}
+
+/// [`run_instance`] with an explicit solver-reuse mode.
+///
+/// # Panics
+///
+/// Panics if the verdict contradicts the ground truth.
+pub fn run_instance_with(
+    instance: &BenchInstance,
+    strategy: OrderingStrategy,
+    weighting: Weighting,
+    reuse: SolverReuse,
+) -> InstanceResult {
     let start = Instant::now();
     let mut engine = BmcEngine::new(
         instance.model.clone(),
@@ -60,6 +81,7 @@ pub fn run_instance(
             max_depth: instance.max_depth,
             strategy,
             weighting,
+            reuse,
             ..BmcOptions::default()
         },
     );
@@ -110,6 +132,28 @@ pub fn cli_suite(args: &[String]) -> Vec<BenchInstance> {
         rbmc_gens::small_suite()
     } else {
         rbmc_gens::suite_table1()
+    }
+}
+
+/// Parses `--reuse fresh|session` from a binary's arguments; `default` when
+/// the flag is absent. A malformed value aborts the binary (a typo silently
+/// measuring the wrong regime would poison the artifact).
+pub fn cli_reuse(args: &[String], default: SolverReuse) -> SolverReuse {
+    match args
+        .iter()
+        .position(|a| a == "--reuse")
+        .map(|i| args.get(i + 1).map(String::as_str))
+    {
+        None => default,
+        Some(Some("fresh")) => SolverReuse::Fresh,
+        Some(Some("session")) => SolverReuse::Session,
+        Some(other) => {
+            eprintln!(
+                "error: --reuse requires `fresh` or `session`, got {:?}",
+                other.unwrap_or("<missing>")
+            );
+            std::process::exit(2);
+        }
     }
 }
 

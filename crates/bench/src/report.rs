@@ -41,6 +41,10 @@ pub struct BenchCase {
 
 impl From<&InstanceResult> for BenchCase {
     fn from(r: &InstanceResult) -> BenchCase {
+        // The incremental-session counters ride along as extras, so runs in
+        // `SolverReuse::Session` mode are distinguishable in the artifact
+        // (fresh runs report one solve call per depth and zeros otherwise).
+        let stats = &r.run.solver_stats;
         BenchCase {
             name: r.name.clone(),
             strategy: r.strategy.to_string(),
@@ -50,7 +54,14 @@ impl From<&InstanceResult> for BenchCase {
             propagations: r.implications,
             completed_depth: r.completed_depth,
             verdict_ok: r.verdict_ok,
-            extra: Vec::new(),
+            extra: vec![
+                ("solve_calls".into(), stats.solve_calls as f64),
+                (
+                    "assumption_conflicts".into(),
+                    stats.assumption_conflicts as f64,
+                ),
+                ("learned_retained".into(), stats.learned_retained as f64),
+            ],
         }
     }
 }

@@ -1,9 +1,161 @@
 //! Clauses: disjunctions of literals.
+//!
+//! [`Clause`] owns its literals; [`ClauseView`] borrows them from a flat
+//! [`CnfFormula`](crate::CnfFormula) store. Both expose the same clause-level
+//! queries through shared slice-based helpers.
 
 use std::fmt;
 use std::ops::Deref;
 
 use crate::Lit;
+
+/// Evaluates a literal slice as a disjunction under a total assignment.
+/// Returns `None` if any variable is out of range of `assignment`.
+pub(crate) fn eval_lits(lits: &[Lit], assignment: &[bool]) -> Option<bool> {
+    let mut value = false;
+    for &lit in lits {
+        let var_value = *assignment.get(lit.var().index())?;
+        value |= lit.apply(var_value);
+    }
+    Some(value)
+}
+
+/// Evaluates a literal slice as a disjunction under a partial assignment
+/// (out-of-range variables count as unassigned).
+pub(crate) fn eval_lits_partial(lits: &[Lit], assignment: &[Option<bool>]) -> Option<bool> {
+    let mut undetermined = false;
+    for &lit in lits {
+        match assignment.get(lit.var().index()).copied().flatten() {
+            Some(value) => {
+                if lit.apply(value) {
+                    return Some(true);
+                }
+            }
+            None => undetermined = true,
+        }
+    }
+    if undetermined {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// Returns true if the literal slice contains both phases of some variable.
+pub(crate) fn lits_are_tautology(lits: &[Lit]) -> bool {
+    let mut sorted: Vec<Lit> = lits.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).any(|w| w[0] == !w[1])
+}
+
+/// Renders a literal slice as `(l₁ ∨ l₂ ∨ …)`, or `⊥` when empty.
+pub(crate) fn fmt_lits(lits: &[Lit], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if lits.is_empty() {
+        return write!(f, "⊥");
+    }
+    write!(f, "(")?;
+    for (i, lit) in lits.iter().enumerate() {
+        if i > 0 {
+            write!(f, " ∨ ")?;
+        }
+        write!(f, "{lit}")?;
+    }
+    write!(f, ")")
+}
+
+/// A borrowed clause: a view into the flat literal store of a
+/// [`CnfFormula`](crate::CnfFormula).
+///
+/// Dereferences to `[Lit]` and offers the same queries as [`Clause`], so
+/// most call sites work identically on owned and borrowed clauses.
+///
+/// # Examples
+///
+/// ```
+/// use rbmc_cnf::parse_dimacs;
+///
+/// let f = parse_dimacs("p cnf 2 1\n1 -2 0\n")?;
+/// let view = f.clause(0);
+/// assert_eq!(view.len(), 2);
+/// assert_eq!(view.evaluate(&[true, true]), Some(true));
+/// # Ok::<(), rbmc_cnf::ParseDimacsError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClauseView<'a> {
+    lits: &'a [Lit],
+}
+
+impl<'a> ClauseView<'a> {
+    /// Wraps a literal slice as a clause view.
+    pub fn new(lits: &'a [Lit]) -> ClauseView<'a> {
+        ClauseView { lits }
+    }
+
+    /// Returns the literals as a slice (with the view's full lifetime).
+    pub fn lits(&self) -> &'a [Lit] {
+        self.lits
+    }
+
+    /// Copies the view into an owned [`Clause`].
+    pub fn to_clause(&self) -> Clause {
+        Clause::new(self.lits.to_vec())
+    }
+
+    /// Returns true if the clause contains both phases of some variable.
+    pub fn is_tautology(&self) -> bool {
+        lits_are_tautology(self.lits)
+    }
+
+    /// Evaluates the clause under a total assignment (see
+    /// [`Clause::evaluate`]).
+    pub fn evaluate(&self, assignment: &[bool]) -> Option<bool> {
+        eval_lits(self.lits, assignment)
+    }
+
+    /// Evaluates the clause under a partial assignment (see
+    /// [`Clause::evaluate_partial`]).
+    pub fn evaluate_partial(&self, assignment: &[Option<bool>]) -> Option<bool> {
+        eval_lits_partial(self.lits, assignment)
+    }
+}
+
+impl Deref for ClauseView<'_> {
+    type Target = [Lit];
+
+    fn deref(&self) -> &[Lit] {
+        self.lits
+    }
+}
+
+impl AsRef<[Lit]> for ClauseView<'_> {
+    fn as_ref(&self) -> &[Lit] {
+        self.lits
+    }
+}
+
+impl PartialEq<Clause> for ClauseView<'_> {
+    fn eq(&self, other: &Clause) -> bool {
+        self.lits == other.lits()
+    }
+}
+
+impl PartialEq<ClauseView<'_>> for Clause {
+    fn eq(&self, other: &ClauseView<'_>) -> bool {
+        self.lits() == other.lits
+    }
+}
+
+impl fmt::Debug for ClauseView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.lits.iter()).finish()
+    }
+}
+
+impl fmt::Display for ClauseView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_lits(self.lits, f)
+    }
+}
 
 /// A disjunction of literals.
 ///
@@ -63,9 +215,7 @@ impl Clause {
     /// assert!(!Clause::new(vec![x.positive()]).is_tautology());
     /// ```
     pub fn is_tautology(&self) -> bool {
-        let mut sorted: Vec<Lit> = self.lits.clone();
-        sorted.sort_unstable();
-        sorted.windows(2).any(|w| w[0] == !w[1])
+        lits_are_tautology(&self.lits)
     }
 
     /// Returns a sorted, duplicate-free copy, or `None` if the clause is a
@@ -90,22 +240,7 @@ impl Clause {
     /// Variables with indices beyond the end of `assignment` are treated as
     /// unassigned.
     pub fn evaluate_partial(&self, assignment: &[Option<bool>]) -> Option<bool> {
-        let mut undetermined = false;
-        for &lit in &self.lits {
-            match assignment.get(lit.var().index()).copied().flatten() {
-                Some(value) => {
-                    if lit.apply(value) {
-                        return Some(true);
-                    }
-                }
-                None => undetermined = true,
-            }
-        }
-        if undetermined {
-            None
-        } else {
-            Some(false)
-        }
+        eval_lits_partial(&self.lits, assignment)
     }
 
     /// Evaluates the clause under a total assignment.
@@ -113,12 +248,18 @@ impl Clause {
     /// Returns `None` if any variable of the clause is out of range of
     /// `assignment`.
     pub fn evaluate(&self, assignment: &[bool]) -> Option<bool> {
-        let mut value = false;
-        for &lit in &self.lits {
-            let var_value = *assignment.get(lit.var().index())?;
-            value |= lit.apply(var_value);
-        }
-        Some(value)
+        eval_lits(&self.lits, assignment)
+    }
+
+    /// Borrows the clause as a [`ClauseView`].
+    pub fn as_view(&self) -> ClauseView<'_> {
+        ClauseView::new(&self.lits)
+    }
+}
+
+impl AsRef<[Lit]> for Clause {
+    fn as_ref(&self) -> &[Lit] {
+        &self.lits
     }
 }
 
@@ -177,17 +318,7 @@ impl fmt::Debug for Clause {
 
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.lits.is_empty() {
-            return write!(f, "⊥");
-        }
-        write!(f, "(")?;
-        for (i, lit) in self.lits.iter().enumerate() {
-            if i > 0 {
-                write!(f, " ∨ ")?;
-            }
-            write!(f, "{lit}")?;
-        }
-        write!(f, ")")
+        fmt_lits(&self.lits, f)
     }
 }
 

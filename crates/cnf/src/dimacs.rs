@@ -132,12 +132,7 @@ pub fn parse_dimacs(text: &str) -> Result<CnfFormula, ParseDimacsError> {
         });
     }
     // Honour the header's variable count as a lower bound.
-    if header_vars > formula.num_vars() {
-        let mut padded = CnfFormula::with_vars(header_vars);
-        padded.extend(formula.iter().cloned());
-        let _ = std::mem::replace(&mut formula, padded);
-        // `extend` cannot shrink the range, so this preserves all clauses.
-    }
+    formula.ensure_vars(header_vars);
     Ok(formula)
 }
 

@@ -32,7 +32,7 @@ mod dimacs;
 mod formula;
 mod lit;
 
-pub use clause::Clause;
+pub use clause::{Clause, ClauseView};
 pub use dimacs::{parse_dimacs, to_dimacs_string, write_dimacs, ParseDimacsError};
-pub use formula::CnfFormula;
+pub use formula::{Clauses, ClausesIter, CnfFormula};
 pub use lit::{Lit, Var};

@@ -13,14 +13,26 @@
 //! }
 //! ```
 //!
-//! Each depth gets a fresh solver (the paper's method is orthogonal to
-//! incremental SAT); correlation flows between instances exclusively through
-//! `varRank` over the frame-stable variables.
+//! By default the engine runs the loop as one **incremental solving
+//! session** ([`SolverReuse::Session`]): a single persistent [`Solver`]
+//! serves every depth. Each depth appends only the new frame's clauses
+//! (via [`Unroller::with_frame_delta`]), asserts the bad state through a
+//! per-depth *activation literal* `a_k` — the clause `a_k → bad_k` is added
+//! permanently, `a_k` is assumed for the depth-`k` solve, and a `¬a_k` unit
+//! retires it afterwards — and the solver keeps its learned clauses, phase
+//! assignments, and heuristic state warm across depths. The paper's
+//! per-depth `varRank` refresh becomes a [`Solver::set_var_ranking`] call
+//! between solve episodes. The paper's original regime — a fresh solver per
+//! depth, loading the whole prefix and discarding everything after the
+//! verdict — is preserved as [`SolverReuse::Fresh`] for differential
+//! testing and overhead measurements (the method is orthogonal to
+//! incremental SAT, so both regimes reach identical verdicts).
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use rbmc_solver::{Limits, OrderMode, SolveResult, Solver, SolverOptions};
+use rbmc_cnf::Lit;
+use rbmc_solver::{Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
 
 use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, Weighting};
 
@@ -66,6 +78,30 @@ impl OrderingStrategy {
     }
 }
 
+/// How [`BmcEngine`] provisions SAT solvers across depths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SolverReuse {
+    /// One persistent solver for the whole run: frames are appended
+    /// incrementally, bad states are asserted via assumed activation
+    /// literals, and learned clauses survive between depths.
+    #[default]
+    Session,
+    /// A fresh solver per depth, loading the full clause prefix and the
+    /// bad-state unit — the paper's original (seed-identical) regime, kept
+    /// for differential testing against the session path.
+    Fresh,
+}
+
+impl SolverReuse {
+    /// Short name used in benchmark tables and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverReuse::Session => "session",
+            SolverReuse::Fresh => "fresh",
+        }
+    }
+}
+
 /// Configuration of a [`BmcEngine`] run.
 #[derive(Clone, Copy, Debug)]
 pub struct BmcOptions {
@@ -73,6 +109,9 @@ pub struct BmcOptions {
     pub max_depth: usize,
     /// Decision-ordering scheme.
     pub strategy: OrderingStrategy,
+    /// Solver provisioning across depths (persistent session vs fresh per
+    /// depth).
+    pub reuse: SolverReuse,
     /// How past cores are weighted (§3.2; ablation knob).
     pub weighting: Weighting,
     /// Base solver configuration. `order_mode` and `record_cdg` are
@@ -94,6 +133,7 @@ impl Default for BmcOptions {
         BmcOptions {
             max_depth: 20,
             strategy: OrderingStrategy::Standard,
+            reuse: SolverReuse::Session,
             weighting: Weighting::Linear,
             solver: SolverOptions::default(),
             max_conflicts_per_depth: None,
@@ -179,6 +219,12 @@ pub struct BmcRun {
     pub outcome: BmcOutcome,
     /// One entry per attempted depth, in order.
     pub per_depth: Vec<DepthStats>,
+    /// Aggregate solver statistics over the whole run: the session solver's
+    /// final counters under [`SolverReuse::Session`], the per-depth solvers'
+    /// counters summed under [`SolverReuse::Fresh`]. Carries the
+    /// incremental-session counters (`solve_calls`, `assumption_conflicts`,
+    /// `learned_retained`) the per-depth deltas cannot express.
+    pub solver_stats: SolverStats,
     /// Total wall-clock time.
     pub total_time: Duration,
 }
@@ -259,34 +305,61 @@ impl BmcEngine {
     pub fn run_collecting(&mut self) -> BmcRun {
         let run_start = Instant::now();
         let unroller = Unroller::new(&self.model);
+        // The persistent solver of a session run (frames appended per depth).
+        let mut session: Option<Solver> = match self.options.reuse {
+            SolverReuse::Session => Some(Solver::with_options(self.solver_options())),
+            SolverReuse::Fresh => None,
+        };
+        let mut aggregate = SolverStats::new();
         let mut outcome = BmcOutcome::BoundReached { depth_completed: 0 };
-        let mut completed_all = true;
         for k in 0..=self.options.max_depth {
             let depth_start = Instant::now();
-            // gen_cnf_formula(M, P, k): the unroller only encodes the one
-            // new frame; the shared prefix is served from its cache and fed
-            // to the solver without materializing a fresh CnfFormula.
-            // sat_check(F, varRank)
-            let mut solver = self.make_solver(&unroller, k);
             let limits = self.depth_limits();
-            let result = solver.solve_limited(&limits);
+            // gen_cnf_formula(M, P, k): the unroller only ever encodes the
+            // one new frame; session solvers consume exactly that delta,
+            // fresh solvers replay the cached prefix. sat_check(F, varRank)
+            // is one solve episode either way.
+            let mut fresh: Option<Solver> = None;
+            let (solver, result, base) = match session.as_mut() {
+                Some(solver) => {
+                    let base = solver.stats().clone();
+                    unroller.with_frame_delta(k, |clauses| {
+                        for clause in clauses {
+                            solver.add_clause(clause.lits());
+                        }
+                    });
+                    // a_k → bad_k; a_k is assumed for this depth only.
+                    let act = Self::activation_lit(&unroller, self.options.max_depth, k);
+                    solver.add_clause(&[!act, unroller.bad_lit(k)]);
+                    self.install_ranking(solver, &unroller, k);
+                    let result = solver.solve_under_limited(&[act], &limits);
+                    (&mut *solver, result, base)
+                }
+                None => {
+                    let solver = fresh.insert(self.fresh_solver(&unroller, k));
+                    let result = solver.solve_limited(&limits);
+                    (&mut *solver, result, SolverStats::new())
+                }
+            };
             let stats = solver.stats();
+            // The paper's unsatVars, filtered to the frame-stable model
+            // variables (a session core may also cite activation literals).
             let core_vars = match result {
-                SolveResult::Unsat => solver.core_vars().map(|v| v.len()).unwrap_or(0),
-                _ => 0,
+                SolveResult::Unsat => self.core_model_vars(solver, &unroller, k),
+                _ => Vec::new(),
             };
             self.per_depth.push(DepthStats {
                 depth: k,
                 result,
-                decisions: stats.decisions,
-                implications: stats.propagations,
-                conflicts: stats.conflicts,
+                decisions: stats.decisions - base.decisions,
+                implications: stats.propagations - base.propagations,
+                conflicts: stats.conflicts - base.conflicts,
                 num_vars: unroller.num_vars_at(k),
                 num_clauses: solver.num_original_clauses(),
-                core_vars,
+                core_vars: core_vars.len(),
                 switched_to_vsids: stats.switched_to_vsids,
-                cdg_nodes: stats.cdg_nodes,
-                cdg_edges: stats.cdg_edges,
+                cdg_nodes: stats.cdg_nodes - base.cdg_nodes,
+                cdg_edges: stats.cdg_edges - base.cdg_edges,
                 time: depth_start.elapsed(),
             });
             match result {
@@ -297,39 +370,54 @@ impl BmcEngine {
                         trace.validate(&self.model).is_ok(),
                         "solver returned an invalid counterexample"
                     );
+                    if let Some(f) = fresh.as_ref() {
+                        aggregate.accumulate(f.stats());
+                    }
                     outcome = BmcOutcome::Counterexample { depth: k, trace };
-                    completed_all = false;
                     break;
                 }
                 SolveResult::Unsat => {
                     // update_ranking(unsatVars, varRank)
-                    if self.options.strategy.needs_cores() {
-                        if let Some(vars) = solver.core_vars() {
-                            self.rank.update(&vars, k);
-                        }
+                    if self.options.strategy.needs_cores() && !core_vars.is_empty() {
+                        self.rank.update(&core_vars, k);
+                    }
+                    if let Some(solver) = session.as_mut() {
+                        // Retire this depth's activation literal for good:
+                        // the a_k → bad_k clause is satisfied forever, and
+                        // clause-database reduction reclaims everything
+                        // learned against a_k.
+                        let act = Self::activation_lit(&unroller, self.options.max_depth, k);
+                        solver.add_clause(&[!act]);
+                    }
+                    if let Some(f) = fresh.as_ref() {
+                        aggregate.accumulate(f.stats());
                     }
                     outcome = BmcOutcome::BoundReached { depth_completed: k };
                 }
                 SolveResult::Unknown => {
+                    if let Some(f) = fresh.as_ref() {
+                        aggregate.accumulate(f.stats());
+                    }
                     outcome = BmcOutcome::ResourceOut { at_depth: k };
-                    completed_all = false;
                     break;
                 }
             }
         }
-        let _ = completed_all;
+        if let Some(solver) = session.as_ref() {
+            aggregate = solver.stats().clone();
+        }
         BmcRun {
             outcome,
             per_depth: std::mem::take(&mut self.per_depth),
+            solver_stats: aggregate,
             total_time: run_start.elapsed(),
         }
     }
 
-    /// Builds the per-depth solver: loads `F_k` straight from the unroller's
-    /// cached clause prefix (plus the depth-`k` bad-state unit), then
-    /// installs the strategy's order mode and the current `varRank` (or the
-    /// Shtrichman frame ranking).
-    fn make_solver(&self, unroller: &Unroller<'_>, k: usize) -> Solver {
+    /// The solver configuration the strategy dictates: `order_mode` and
+    /// `record_cdg` are derived, the rest is taken from
+    /// [`BmcOptions::solver`].
+    fn solver_options(&self) -> SolverOptions {
         let mut opts = self.options.solver;
         opts.order_mode = match self.options.strategy {
             OrderingStrategy::Standard => OrderMode::Standard,
@@ -337,14 +425,20 @@ impl BmcEngine {
             OrderingStrategy::RefinedDynamic { divisor } => OrderMode::Dynamic { divisor },
         };
         opts.record_cdg = self.options.strategy.needs_cores() || self.options.force_record_cdg;
-        let mut solver = Solver::with_options(opts);
-        solver.reserve_vars(unroller.num_vars_at(k));
-        unroller.with_prefix(k, |clauses| {
-            for clause in clauses {
-                solver.add_clause(clause.lits());
-            }
-        });
-        solver.add_clause(&[unroller.bad_lit(k)]);
+        opts
+    }
+
+    /// The depth-`k` activation literal of a session run. Activation
+    /// variables live **above** the whole unrolling's variable range
+    /// (`num_vars_at(max_depth)`), so they can never collide with the
+    /// frame-stable model variables of any depth the run will reach.
+    fn activation_lit(unroller: &Unroller<'_>, max_depth: usize, k: usize) -> Lit {
+        rbmc_cnf::Var::new(unroller.num_vars_at(max_depth) + k).positive()
+    }
+
+    /// Installs the strategy's ranking for the depth-`k` episode (the
+    /// paper's per-depth `varRank` refresh; re-seedable on a live solver).
+    fn install_ranking(&self, solver: &mut Solver, unroller: &Unroller<'_>, k: usize) {
         match self.options.strategy {
             OrderingStrategy::Standard => {}
             OrderingStrategy::Shtrichman => {
@@ -352,7 +446,42 @@ impl BmcEngine {
             }
             _ => solver.set_var_ranking(self.rank.as_slice()),
         }
+    }
+
+    /// Builds the paper's per-depth solver (the [`SolverReuse::Fresh`]
+    /// differential path): loads `F_k` from the unroller's cached clause
+    /// prefix plus the depth-`k` bad-state unit — no activation literals, no
+    /// assumptions — then installs the strategy's ranking.
+    fn fresh_solver(&self, unroller: &Unroller<'_>, k: usize) -> Solver {
+        let mut solver = Solver::with_options(self.solver_options());
+        solver.reserve_vars(unroller.num_vars_at(k));
+        unroller.with_prefix(k, |clauses| {
+            for clause in clauses {
+                solver.add_clause(clause.lits());
+            }
+        });
+        solver.add_clause(&[unroller.bad_lit(k)]);
+        self.install_ranking(&mut solver, unroller, k);
         solver
+    }
+
+    /// The model variables (frame-stable, `< num_vars_at(k)`) of the last
+    /// UNSAT verdict's core. Activation variables are filtered out: they are
+    /// bookkeeping of the session encoding, not part of the paper's
+    /// `unsatVars`.
+    fn core_model_vars(
+        &self,
+        solver: &Solver,
+        unroller: &Unroller<'_>,
+        k: usize,
+    ) -> Vec<rbmc_cnf::Var> {
+        let bound = unroller.num_vars_at(k);
+        solver
+            .core_vars()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|v| v.index() < bound)
+            .collect()
     }
 
     fn depth_limits(&self) -> Limits {
@@ -494,16 +623,17 @@ mod tests {
 
     #[test]
     fn conflict_budget_reports_resource_out() {
-        // With a zero conflict budget, the UNSAT depths of the input-free
-        // counter still complete (level-0 propagation refutes them before the
-        // budget is consulted), but the SAT depth hits the budget check in
-        // the decision loop and reports ResourceOut there.
+        // Fresh mode: with a zero conflict budget, the UNSAT depths of the
+        // input-free counter still complete (level-0 propagation refutes
+        // them before the budget is consulted), but the SAT depth hits the
+        // budget check in the decision loop and reports ResourceOut there.
         let model = counter_model(3, 5);
         let mut engine = BmcEngine::new(
-            model,
+            model.clone(),
             BmcOptions {
                 max_depth: 12,
                 strategy: OrderingStrategy::Standard,
+                reuse: SolverReuse::Fresh,
                 max_conflicts_per_depth: Some(0),
                 ..BmcOptions::default()
             },
@@ -512,6 +642,93 @@ mod tests {
             BmcOutcome::ResourceOut { at_depth } => assert_eq!(at_depth, 5),
             other => panic!("expected resource-out, got {other:?}"),
         }
+        // Session mode asserts the bad state through an assumed activation
+        // literal, so even depth 0 needs one pseudo-decision — which a zero
+        // budget forbids: ResourceOut immediately.
+        let mut engine = BmcEngine::new(
+            model,
+            BmcOptions {
+                max_depth: 12,
+                strategy: OrderingStrategy::Standard,
+                reuse: SolverReuse::Session,
+                max_conflicts_per_depth: Some(0),
+                ..BmcOptions::default()
+            },
+        );
+        match engine.run() {
+            BmcOutcome::ResourceOut { at_depth } => assert_eq!(at_depth, 0),
+            other => panic!("expected resource-out, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_and_fresh_agree_per_depth() {
+        // Same model, both reuse modes, every strategy: identical per-depth
+        // verdict sequences and identical counterexample depth.
+        for target in [5u64, 12] {
+            let model = counter_model(4, target);
+            for strategy in all_strategies() {
+                let mut runs = Vec::new();
+                for reuse in [SolverReuse::Fresh, SolverReuse::Session] {
+                    let mut engine = BmcEngine::new(
+                        model.clone(),
+                        BmcOptions {
+                            max_depth: 14,
+                            strategy,
+                            reuse,
+                            ..BmcOptions::default()
+                        },
+                    );
+                    runs.push(engine.run_collecting());
+                }
+                let verdicts = |run: &BmcRun| -> Vec<SolveResult> {
+                    run.per_depth.iter().map(|d| d.result).collect()
+                };
+                assert_eq!(
+                    verdicts(&runs[0]),
+                    verdicts(&runs[1]),
+                    "{strategy:?} target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_run_reports_incremental_stats() {
+        let model = counter_model(4, 11);
+        let mut engine = BmcEngine::new(
+            model,
+            BmcOptions {
+                max_depth: 20,
+                strategy: OrderingStrategy::RefinedStatic,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        assert!(matches!(
+            run.outcome,
+            BmcOutcome::Counterexample { depth: 11, .. }
+        ));
+        let stats = &run.solver_stats;
+        // One solve episode per attempted depth (0..=11).
+        assert_eq!(stats.solve_calls, 12);
+        // Every UNSAT depth ended as a failed-assumption conflict.
+        assert_eq!(stats.assumption_conflicts, 11);
+        // Fresh mode never reports incremental counters.
+        let mut engine = BmcEngine::new(
+            counter_model(4, 11),
+            BmcOptions {
+                max_depth: 20,
+                strategy: OrderingStrategy::RefinedStatic,
+                reuse: SolverReuse::Fresh,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        assert_eq!(run.solver_stats.assumption_conflicts, 0);
+        assert_eq!(run.solver_stats.learned_retained, 0);
+        // Each fresh solver counts its single episode.
+        assert_eq!(run.solver_stats.solve_calls, 12);
     }
 
     #[test]

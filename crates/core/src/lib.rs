@@ -78,9 +78,14 @@ mod shtrichman;
 mod trace;
 mod unroll;
 
-pub use engine::{BmcEngine, BmcOptions, BmcOutcome, BmcRun, DepthStats, OrderingStrategy};
+pub use engine::{
+    BmcEngine, BmcOptions, BmcOutcome, BmcRun, DepthStats, OrderingStrategy, SolverReuse,
+};
+// Re-exported because it appears throughout the engine's public API
+// (`DepthStats::result`, per-depth verdict comparisons).
 pub use model::Model;
 pub use ranking::{VarRank, Weighting};
+pub use rbmc_solver::SolveResult;
 pub use shtrichman::shtrichman_rank;
 pub use trace::{Trace, TraceError};
 pub use unroll::Unroller;

@@ -13,12 +13,17 @@
 //! The unroller caches the encoded clause prefix per model and only ever
 //! encodes each frame once, turning the total encoding work of a BMC run
 //! (one instance per depth) from quadratic to linear in the depth bound.
+//! Consumers read the cache two ways: [`Unroller::with_prefix`] lends all of
+//! frames `0..=k` (a fresh solver loading one whole instance), and
+//! [`Unroller::with_frame_delta`] lends frame `k` alone (a persistent
+//! session solver appending just the new frame — see its docs for why the
+//! deltas concatenate exactly to the prefix).
 
 use std::cell::RefCell;
 use std::fmt;
 
 use rbmc_circuit::{GateOp, LatchInit, Node, NodeId, Signal};
-use rbmc_cnf::{Clause, CnfFormula, Lit, Var};
+use rbmc_cnf::{Clauses, CnfFormula, Lit, Var};
 
 use crate::Model;
 
@@ -151,17 +156,45 @@ impl<'a> Unroller<'a> {
 
     /// Runs `consume` on the cached clauses of frames `0..=k` — everything
     /// in `F_k` except the final unit clause [`Unroller::bad_lit`] asserts.
-    /// This is the zero-copy path [`BmcEngine`](crate::BmcEngine) feeds the
-    /// per-depth solver from.
+    /// This is the zero-copy path fresh-per-depth consumers (the
+    /// [`SolverReuse::Fresh`](crate::SolverReuse) differential path, tests,
+    /// benches) load whole instances from.
     ///
     /// `consume` must not call back into cache-filling methods of the same
-    /// unroller (`formula`, `with_prefix`): the cache is borrowed for the
-    /// duration of the call. The pure index arithmetic (`var_of`, `lit_of`,
-    /// `num_vars_at`, …) is fine.
-    pub fn with_prefix<R>(&self, k: usize, consume: impl FnOnce(&[Clause]) -> R) -> R {
+    /// unroller (`formula`, `with_prefix`, `with_frame_delta`): the cache is
+    /// borrowed for the duration of the call. The pure index arithmetic
+    /// (`var_of`, `lit_of`, `num_vars_at`, …) is fine.
+    pub fn with_prefix<R>(&self, k: usize, consume: impl FnOnce(Clauses<'_>) -> R) -> R {
         self.ensure_frames(k);
         let cache = self.prefix.borrow();
-        consume(&cache.formula.clauses()[..cache.frame_end[k]])
+        consume(cache.formula.clauses_in(0..cache.frame_end[k]))
+    }
+
+    /// Runs `consume` on the cached clauses of frame `k` **alone** — the
+    /// difference between `F_k` and `F_{k-1}` (ignoring the bad-state
+    /// units). This is what the incremental solving session appends per
+    /// depth: the persistent solver already holds frames `0..k`, so each
+    /// depth costs one frame of encoding and loading instead of `k + 1`.
+    ///
+    /// Serving the delta from the same append-only cache as
+    /// [`Unroller::with_prefix`] is sound **because frame numbering is
+    /// stable**: the variable of `(node, frame)` is `frame · num_nodes +
+    /// node`, independent of the depth bound, so the clauses of frame `k`
+    /// are byte-identical in every instance `F_j` with `j ≥ k`. The deltas
+    /// therefore concatenate exactly to the prefix —
+    /// `prefix(k) = delta(0) ++ … ++ delta(k)` — and a solver fed deltas
+    /// incrementally holds, clause for clause, the formula a fresh solver
+    /// would load via `with_prefix`. Without stable numbering (e.g. had
+    /// variables been numbered per-instance), earlier frames would need
+    /// re-encoding at every depth and no delta could exist.
+    ///
+    /// The same borrow rule as [`Unroller::with_prefix`] applies to
+    /// `consume`.
+    pub fn with_frame_delta<R>(&self, k: usize, consume: impl FnOnce(Clauses<'_>) -> R) -> R {
+        self.ensure_frames(k);
+        let cache = self.prefix.borrow();
+        let start = if k == 0 { 0 } else { cache.frame_end[k - 1] };
+        consume(cache.formula.clauses_in(start..cache.frame_end[k]))
     }
 
     /// The unit literal `¬P(V^k)` that turns the frame prefix into `F_k`.
@@ -370,7 +403,7 @@ mod tests {
             shared.with_prefix(k, |clauses| {
                 let mut f = CnfFormula::with_vars(shared.num_vars_at(k));
                 for clause in clauses {
-                    f.add_clause(clause.clone());
+                    f.add_clause(clause);
                 }
                 f.add_clause([shared.bad_lit(k)]);
                 f
@@ -404,6 +437,32 @@ mod tests {
                 &[unroller.bad_lit(k)],
                 "final unit at depth {k}"
             );
+        }
+    }
+
+    #[test]
+    fn frame_deltas_concatenate_to_the_prefix() {
+        // prefix(k) = delta(0) ++ … ++ delta(k): the property that makes the
+        // incremental session's per-depth appends sound (frame-stable
+        // numbering; see `with_frame_delta`). Out-of-order depths exercise
+        // partial cache reads.
+        let model = counter_model(4, 9);
+        let unroller = Unroller::new(&model);
+        for k in [3usize, 1, 5] {
+            let mut rebuilt = CnfFormula::with_vars(unroller.num_vars_at(k));
+            for frame in 0..=k {
+                unroller.with_frame_delta(frame, |clauses| {
+                    for clause in clauses {
+                        rebuilt.add_clause(clause);
+                    }
+                });
+            }
+            unroller.with_prefix(k, |prefix| {
+                assert_eq!(prefix.len(), rebuilt.num_clauses(), "depth {k}");
+                for (i, clause) in prefix.iter().enumerate() {
+                    assert_eq!(clause, rebuilt.clause(i), "clause {i} at depth {k}");
+                }
+            });
         }
     }
 

@@ -8,10 +8,21 @@
 //! antecedent pseudo-IDs. The clause database can then delete clause bodies
 //! freely; the CDG retains everything needed to identify the unsatisfiable
 //! core by a backward traversal from the final conflict.
+//!
+//! Node IDs are allocated from a single sequence shared by original clauses
+//! (leaves, carrying their input position) and learned clauses (inner nodes,
+//! carrying antecedent lists). The shared sequence is what lets the
+//! incremental session API interleave [`Cdg::record_original`] (clauses added
+//! between solve calls) with [`Cdg::record_learned`] without the two ID
+//! spaces colliding — the fixed `num_original` split of the per-instance
+//! design cannot express late originals.
 
-/// Pseudo-ID of a clause in the CDG. Original clauses use their formula
-/// index; conflict clauses get fresh IDs above the original range.
+/// Pseudo-ID of a CDG node (original clauses and conflict clauses share one
+/// allocation sequence).
 pub(crate) type ClauseId = u32;
+
+/// Leaf marker in the `leaf` table: the node is a learned (inner) node.
+const LEARNED: u32 = u32::MAX;
 
 /// The simplified conflict dependency graph.
 ///
@@ -25,46 +36,56 @@ pub(crate) type ClauseId = u32;
 /// for every level-0 implication and every learned clause.
 #[derive(Debug, Default)]
 pub(crate) struct Cdg {
-    /// Concatenated antecedent lists of the *learned* clauses, in node
-    /// order. Original clauses are leaves (no antecedents).
+    /// Concatenated antecedent lists, in node order (leaves contribute an
+    /// empty list).
     ant_data: Vec<ClauseId>,
-    /// `ant_ends[i]` is the end offset in `ant_data` of the list of the node
-    /// with id `num_original + i` (its start is `ant_ends[i - 1]`, or 0).
+    /// `ant_ends[id]` is the end offset in `ant_data` of node `id`'s list
+    /// (its start is `ant_ends[id - 1]`, or 0).
     ant_ends: Vec<u32>,
-    /// Number of original clauses: ids below this bound are leaves.
-    num_original: u32,
+    /// Input position of the original clause a leaf node stands for, or
+    /// [`LEARNED`] for inner nodes.
+    leaf: Vec<u32>,
+    /// Number of learned (inner) nodes recorded so far.
+    num_learned: u64,
     /// Antecedents of the final (empty-clause) conflict, once UNSAT is
-    /// established.
+    /// established outright (not merely under assumptions).
     final_antecedents: Option<Vec<ClauseId>>,
 }
 
 impl Cdg {
-    /// Creates an empty CDG over `num_original` original clauses.
-    pub fn new(num_original: usize) -> Cdg {
-        Cdg {
-            ant_data: Vec::new(),
-            ant_ends: Vec::new(),
-            num_original: num_original as u32,
-            final_antecedents: None,
-        }
+    /// Creates an empty CDG.
+    pub fn new() -> Cdg {
+        Cdg::default()
+    }
+
+    /// Records an original clause (a leaf) and returns its pseudo-ID.
+    /// `input_pos` is the clause's position in `add_clause` order — what
+    /// core extraction reports back.
+    pub fn record_original(&mut self, input_pos: u32) -> ClauseId {
+        let id = self.ant_ends.len() as ClauseId;
+        self.ant_ends.push(self.ant_data.len() as u32);
+        self.leaf.push(input_pos);
+        id
     }
 
     /// Records a learned clause and returns its pseudo-ID.
     pub fn record_learned(&mut self, antecedents: &[ClauseId]) -> ClauseId {
-        let id = self.num_original + self.ant_ends.len() as u32;
+        let id = self.ant_ends.len() as ClauseId;
         self.ant_data.extend_from_slice(antecedents);
         self.ant_ends.push(self.ant_data.len() as u32);
+        self.leaf.push(LEARNED);
+        self.num_learned += 1;
         id
     }
 
-    /// The antecedent list of the learned node at `idx` (id-relative).
-    fn antecedents_of(&self, idx: usize) -> &[ClauseId] {
-        let start = if idx == 0 {
+    /// The antecedent list of the node with `id`.
+    fn antecedents_of(&self, id: usize) -> &[ClauseId] {
+        let start = if id == 0 {
             0
         } else {
-            self.ant_ends[idx - 1] as usize
+            self.ant_ends[id - 1] as usize
         };
-        &self.ant_data[start..self.ant_ends[idx] as usize]
+        &self.ant_data[start..self.ant_ends[id] as usize]
     }
 
     /// Records the antecedents of the final conflict (the empty-clause node).
@@ -78,9 +99,9 @@ impl Cdg {
         self.final_antecedents.is_some()
     }
 
-    /// Number of learned-clause nodes.
+    /// Number of learned-clause (inner) nodes.
     pub fn num_nodes(&self) -> u64 {
-        self.ant_ends.len() as u64
+        self.num_learned
     }
 
     /// Number of antecedent edges.
@@ -92,35 +113,41 @@ impl Cdg {
                 .map_or(0, |a| a.len() as u64)
     }
 
-    /// Traverses the CDG backward from the final conflict and returns the
-    /// sorted indices of the original clauses that are reachable — the
-    /// unsatisfiable core.
+    /// Traverses the CDG backward from `roots` and returns the sorted input
+    /// positions of the original clauses that are reachable — the
+    /// unsatisfiable core of the conflict those roots derive.
     ///
-    /// Returns `None` if no final conflict was recorded (the instance was not
-    /// proved unsatisfiable, or CDG recording was disabled).
-    pub fn extract_core(&self) -> Option<Vec<usize>> {
-        let final_ants = self.final_antecedents.as_ref()?;
+    /// This is the per-call core of the incremental session API: an UNSAT
+    /// answer under assumptions has no final empty clause, so the engine
+    /// extracts the core from the antecedents of the failing-assumption
+    /// analysis instead of a recorded final conflict.
+    pub fn core_from(&self, roots: &[ClauseId]) -> Vec<usize> {
         let mut core = Vec::new();
-        let mut seen_original = vec![false; self.num_original as usize];
-        let mut seen_learned = vec![false; self.ant_ends.len()];
-        let mut stack: Vec<ClauseId> = final_ants.clone();
+        let mut seen = vec![false; self.ant_ends.len()];
+        let mut stack: Vec<ClauseId> = roots.to_vec();
         while let Some(id) = stack.pop() {
-            if id < self.num_original {
-                let idx = id as usize;
-                if !seen_original[idx] {
-                    seen_original[idx] = true;
-                    core.push(idx);
-                }
+            let idx = id as usize;
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            if self.leaf[idx] == LEARNED {
+                stack.extend_from_slice(self.antecedents_of(idx));
             } else {
-                let idx = (id - self.num_original) as usize;
-                if !seen_learned[idx] {
-                    seen_learned[idx] = true;
-                    stack.extend_from_slice(self.antecedents_of(idx));
-                }
+                core.push(self.leaf[idx] as usize);
             }
         }
         core.sort_unstable();
-        Some(core)
+        core.dedup();
+        core
+    }
+
+    /// Extracts the core of the recorded final conflict, or `None` if no
+    /// final conflict was recorded (the instance was not proved outright
+    /// unsatisfiable, or CDG recording was disabled).
+    pub fn extract_core(&self) -> Option<Vec<usize>> {
+        let final_ants = self.final_antecedents.as_ref()?;
+        Some(self.core_from(final_ants))
     }
 }
 
@@ -128,32 +155,38 @@ impl Cdg {
 mod tests {
     use super::*;
 
+    /// Registers `n` original clauses with input positions `0..n`.
+    fn with_originals(n: u32) -> (Cdg, Vec<ClauseId>) {
+        let mut cdg = Cdg::new();
+        let ids = (0..n).map(|i| cdg.record_original(i)).collect();
+        (cdg, ids)
+    }
+
     #[test]
     fn core_of_direct_final_conflict() {
         // Two original clauses resolve directly to the empty clause.
-        let mut cdg = Cdg::new(3);
-        cdg.record_final(vec![0, 2]);
+        let (mut cdg, ids) = with_originals(3);
+        cdg.record_final(vec![ids[0], ids[2]]);
         assert_eq!(cdg.extract_core(), Some(vec![0, 2]));
     }
 
     #[test]
     fn core_traverses_learned_chain() {
-        // originals: 0,1,2,3. learned 4 <- {0,1}; learned 5 <- {4,2};
-        // final <- {5}. Core = {0,1,2}; clause 3 is not involved.
-        let mut cdg = Cdg::new(4);
-        let l4 = cdg.record_learned(&[0, 1]);
-        assert_eq!(l4, 4);
-        let l5 = cdg.record_learned(&[l4, 2]);
-        cdg.record_final(vec![l5]);
+        // originals: 0,1,2,3. learned a <- {0,1}; learned b <- {a,2};
+        // final <- {b}. Core = {0,1,2}; clause 3 is not involved.
+        let (mut cdg, ids) = with_originals(4);
+        let a = cdg.record_learned(&[ids[0], ids[1]]);
+        let b = cdg.record_learned(&[a, ids[2]]);
+        cdg.record_final(vec![b]);
         assert_eq!(cdg.extract_core(), Some(vec![0, 1, 2]));
     }
 
     #[test]
     fn shared_antecedents_visited_once() {
-        let mut cdg = Cdg::new(2);
-        let a = cdg.record_learned(&[0, 1]);
-        let b = cdg.record_learned(&[a, 0]);
-        let c = cdg.record_learned(&[a, b, 1]);
+        let (mut cdg, ids) = with_originals(2);
+        let a = cdg.record_learned(&[ids[0], ids[1]]);
+        let b = cdg.record_learned(&[a, ids[0]]);
+        let c = cdg.record_learned(&[a, b, ids[1]]);
         cdg.record_final(vec![b, c]);
         assert_eq!(cdg.extract_core(), Some(vec![0, 1]));
         assert_eq!(cdg.num_nodes(), 3);
@@ -162,9 +195,29 @@ mod tests {
 
     #[test]
     fn no_final_no_core() {
-        let mut cdg = Cdg::new(2);
-        cdg.record_learned(&[0]);
+        let (mut cdg, ids) = with_originals(2);
+        cdg.record_learned(&[ids[0]]);
         assert_eq!(cdg.extract_core(), None);
         assert!(!cdg.has_final());
+    }
+
+    #[test]
+    fn originals_interleave_with_learned_nodes() {
+        // The incremental session interleaves: original, learned, original.
+        let mut cdg = Cdg::new();
+        let o0 = cdg.record_original(0);
+        let l = cdg.record_learned(&[o0]);
+        let o1 = cdg.record_original(1);
+        assert!(o0 < l && l < o1, "ids are allocated from one sequence");
+        // A per-call core rooted in both the learned node and the late leaf.
+        assert_eq!(cdg.core_from(&[l, o1]), vec![0, 1]);
+        assert_eq!(cdg.num_nodes(), 1);
+    }
+
+    #[test]
+    fn core_from_dedupes_roots() {
+        let (mut cdg, ids) = with_originals(1);
+        let a = cdg.record_learned(&[ids[0], ids[0]]);
+        assert_eq!(cdg.core_from(&[a, a, ids[0]]), vec![0]);
     }
 }

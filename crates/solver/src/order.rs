@@ -90,6 +90,11 @@ pub(crate) struct LitOrder {
     bmc: Vec<u64>,
     /// Whether `bmc` participates as the primary key.
     use_bmc: bool,
+    /// Whether the variable occurs in some clause. Reserved-but-unused
+    /// variables (an incremental session reserves the whole future variable
+    /// range up front) are never decision candidates: no clause constrains
+    /// them, so any model extends to them trivially.
+    active: Vec<bool>,
 }
 
 const NOT_IN_HEAP: u32 = u32::MAX;
@@ -122,6 +127,7 @@ impl LitOrder {
             new_counts: vec![0; n],
             bmc: vec![0; num_vars],
             use_bmc: false,
+            active: vec![false; num_vars],
         }
     }
 
@@ -143,6 +149,7 @@ impl LitOrder {
         self.cha.resize(n, 0);
         self.new_counts.resize(n, 0);
         self.bmc.resize(num_vars, 0);
+        self.active.resize(num_vars, false);
     }
 
     /// Number of variables covered.
@@ -151,10 +158,19 @@ impl LitOrder {
         self.bmc.len()
     }
 
+    /// Marks a variable as occurring in some clause, making it a decision
+    /// candidate at the next [`LitOrder::rebuild`] (and at backtracking
+    /// reinsertion).
+    pub fn mark_active(&mut self, var: Var) {
+        self.active[var.index()] = true;
+    }
+
     /// Adds `delta` to the initial `cha_score` of `lit` (used while loading
-    /// the original formula: the initial value is the literal count).
+    /// the original formula: the initial value is the literal count). Also
+    /// marks the literal's variable active.
     pub fn add_initial_count(&mut self, lit: Lit, delta: u64) {
         self.cha[lit.code()] += delta;
+        self.mark_active(lit.var());
     }
 
     /// Records the literals of a newly learned conflict clause
@@ -200,7 +216,7 @@ impl LitOrder {
     }
 
     /// Recomputes every key and rebuilds the heap from the literals of
-    /// variables unassigned in `values` (indexed by variable).
+    /// active variables unassigned in `values` (indexed by variable).
     pub fn rebuild(&mut self, values: &[LBool]) {
         for code in 0..self.key.len() {
             self.key[code] = self.make_key(code);
@@ -211,7 +227,8 @@ impl LitOrder {
         }
         for code in 0..self.key.len() {
             let lit = Lit::from_code(code);
-            if values[lit.var().index()].is_undef() {
+            let v = lit.var().index();
+            if self.active[v] && values[v].is_undef() {
                 self.pos[code] = self.heap.len() as u32;
                 self.heap.push(code as u32);
             }
@@ -232,9 +249,12 @@ impl LitOrder {
         }
     }
 
-    /// Inserts both literals of `var` (if absent). Called when a variable is
-    /// unassigned during backtracking.
+    /// Inserts both literals of `var` (if absent and the variable is
+    /// active). Called when a variable is unassigned during backtracking.
     pub fn reinsert_var(&mut self, var: Var) {
+        if !self.active[var.index()] {
+            return;
+        }
         for lit in [var.positive(), var.negative()] {
             let code = lit.code();
             if self.pos[code] == NOT_IN_HEAP {
@@ -364,6 +384,7 @@ mod tests {
         let mut ord = LitOrder::new(2);
         let v = free(2);
         ord.add_initial_count(lit(1), 100);
+        ord.mark_active(Var::new(1));
         ord.set_bmc_scores(&[0, 50], true);
         ord.rebuild(&v);
         assert_eq!(ord.pop_best(&v).unwrap().var(), Var::new(1));
@@ -416,6 +437,9 @@ mod tests {
     fn deterministic_tiebreak_prefers_smaller_code() {
         let mut ord = LitOrder::new(3);
         let v = free(3);
+        for i in 0..3 {
+            ord.mark_active(Var::new(i));
+        }
         ord.rebuild(&v);
         // All scores equal: positive literal of variable 0 first.
         assert_eq!(ord.pop_best(&v), Some(Var::new(0).positive()));
@@ -435,7 +459,23 @@ mod tests {
         while let Some(l) = ord.pop_best(&v) {
             seen.push(l);
         }
-        assert_eq!(seen.len(), 8);
-        assert_eq!(seen[0], lit(4));
+        // Only the active (occurring) variable's literals are candidates.
+        assert_eq!(seen, vec![lit(4), lit(-4)]);
+    }
+
+    #[test]
+    fn inactive_vars_are_never_candidates() {
+        let mut ord = LitOrder::new(3);
+        let v = free(3);
+        ord.add_initial_count(lit(2), 1);
+        ord.rebuild(&v);
+        assert_eq!(ord.pop_best(&v), Some(lit(2)));
+        assert_eq!(ord.pop_best(&v), Some(lit(-2)));
+        assert_eq!(ord.pop_best(&v), None);
+        // Reinsertion of an inactive variable is a no-op.
+        ord.reinsert_var(Var::new(0));
+        assert_eq!(ord.pop_best(&v), None);
+        ord.reinsert_var(Var::new(1));
+        assert_eq!(ord.pop_best(&v), Some(lit(2)));
     }
 }

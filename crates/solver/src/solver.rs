@@ -128,17 +128,19 @@ impl WatchLists {
 /// ```
 pub struct Solver {
     opts: SolverOptions,
-    /// Flat clause storage: originals first (offset-stable), learned after.
-    /// CDG pseudo-IDs live in the record headers (original ids coincide with
-    /// their input position; learned clauses get fresh ids, interleaved with
-    /// the virtual unit-fact nodes).
+    /// Flat clause storage: the pre-session originals first (offset-stable),
+    /// then learned clauses interleaved with originals added between solve
+    /// episodes. CDG pseudo-IDs live in the record headers.
     clauses: ClauseArena,
     /// Arena reference of each original clause, indexed by input position.
+    /// Entries at or above `first_learned` are patched after compaction.
     original_refs: Vec<ClauseRef>,
     /// Number of original (input) clauses.
     num_original: usize,
-    /// Arena offset where the learned region starts (set at the first solve
-    /// call; the original region below it never moves).
+    /// Arena offset where the compactable region starts (set at the first
+    /// solve call; the region below it never moves). Learned clauses and
+    /// originals added mid-session live above it and may be relocated by
+    /// compaction — only learned records are ever deleted.
     first_learned: u32,
     /// Total literal occurrences in the original formula — the paper's
     /// "number of original literals" used by the dynamic switch.
@@ -164,9 +166,22 @@ pub struct Solver {
     result: Option<SolveResult>,
     model: Option<Vec<bool>>,
     core: Option<Vec<usize>>,
+    /// Assumption literals of the current solve episode, in order; each is
+    /// decided as a pseudo-decision at levels `1..=assumptions.len()` before
+    /// any heuristic decision.
+    assumptions: Vec<Lit>,
+    /// The subset of the current episode's assumptions involved in the final
+    /// conflict, when the episode ended UNSAT because an assumption failed.
+    failed: Vec<Lit>,
+    /// False once the clause database alone (no assumptions) was proven
+    /// unsatisfiable; every later episode returns UNSAT immediately.
+    ok: bool,
     started: bool,
-    /// Dynamic mode has fallen back to pure VSIDS.
+    /// Dynamic mode has fallen back to pure VSIDS (this episode).
     switched: bool,
+    /// `stats.decisions` at the start of the current episode (the dynamic
+    /// switch of §3.3 counts decisions per instance, i.e. per episode).
+    episode_decisions_base: u64,
     conflicts_at_last_halve: u64,
     conflicts_at_restart: u64,
     restart_number: u64,
@@ -222,7 +237,7 @@ impl Solver {
             trail_lim: Vec::new(),
             qhead: 0,
             order: LitOrder::new(0),
-            cdg: Cdg::new(0),
+            cdg: Cdg::new(),
             stats: SolverStats::new(),
             bmc_scores: Vec::new(),
             pending_units: Vec::new(),
@@ -230,8 +245,12 @@ impl Solver {
             result: None,
             model: None,
             core: None,
+            assumptions: Vec::new(),
+            failed: Vec::new(),
+            ok: true,
             started: false,
             switched: false,
+            episode_decisions_base: 0,
             conflicts_at_last_halve: 0,
             conflicts_at_restart: 0,
             restart_number: 0,
@@ -300,15 +319,15 @@ impl Solver {
     /// phases of a variable is stored but ignored by the search (it is a
     /// tautology and can never be part of an unsatisfiable core).
     ///
-    /// # Panics
-    ///
-    /// Panics if called after the first solve call (this solver refines a
-    /// single instance; BMC creates a fresh solver per unrolling depth).
+    /// May be called at any time, including **between solve episodes** — the
+    /// incremental session API the BMC engine appends each new frame through.
+    /// A mid-session addition undoes any search decisions (backtracks to
+    /// level 0), then attaches the clause against the current root-level
+    /// assignment: already-falsified literals are skipped when choosing
+    /// watches, a clause left unit propagates immediately, and a clause with
+    /// no true or free literal makes the solver permanently unsatisfiable.
     pub fn add_clause(&mut self, lits: &[Lit]) {
-        assert!(
-            !self.started,
-            "clauses must be added before the first solve call"
-        );
+        self.backtrack(0);
         // The raw literal count feeds both the initial cha_score and the
         // dynamic-switch threshold.
         self.num_original_lits += lits.len() as u64;
@@ -319,24 +338,69 @@ impl Solver {
         }
 
         let clause = Clause::new(lits.to_vec());
-        let (stored, tautology) = match clause.normalized() {
+        let (mut stored, tautology) = match clause.normalized() {
             None => (Vec::new(), true),
             Some(n) => (n.into_lits(), false),
         };
-        // An original clause's CDG pseudo-ID is its input position.
-        let cref = self
-            .clauses
-            .alloc(&stored, false, self.original_refs.len() as u32);
-        self.original_refs.push(cref);
-        if tautology {
-            self.stats.tautologies += 1;
+        let input_pos = self.original_refs.len() as u32;
+        let cdg_id = if self.opts.record_cdg {
+            self.cdg.record_original(input_pos)
         } else {
+            // Recording is off: the header slot is never read.
+            u32::MAX
+        };
+        if tautology {
+            let cref = self.clauses.alloc(&stored, false, cdg_id);
+            self.original_refs.push(cref);
+            self.stats.tautologies += 1;
+        } else if !self.started {
+            let cref = self.clauses.alloc(&stored, false, cdg_id);
+            self.original_refs.push(cref);
             match stored.len() {
                 0 => {
                     self.empty_clause.get_or_insert(cref);
                 }
                 1 => self.pending_units.push(cref),
                 _ => self.watch_clause(cref, stored.len(), stored[0], stored[1]),
+            }
+        } else {
+            // Mid-session: bring up to two non-falsified literals to the
+            // watch slots before storing.
+            let mut watchable = [0usize; 2];
+            let mut found = 0;
+            for (i, &lit) in stored.iter().enumerate() {
+                if self.lit_value(lit) != LBool::False {
+                    watchable[found] = i;
+                    found += 1;
+                    if found == 2 {
+                        break;
+                    }
+                }
+            }
+            if found >= 1 {
+                stored.swap(0, watchable[0]);
+            }
+            if found == 2 {
+                // `watchable` is strictly increasing, so slot `watchable[1]`
+                // was not disturbed by the first swap.
+                stored.swap(1, watchable[1]);
+            }
+            let cref = self.clauses.alloc(&stored, false, cdg_id);
+            self.original_refs.push(cref);
+            if stored.len() >= 2 {
+                self.watch_clause(cref, stored.len(), stored[0], stored[1]);
+            }
+            match found {
+                0 => {
+                    // Every literal is false at the root (or the clause is
+                    // empty): unsatisfiable no matter the assumptions.
+                    self.record_conflict_clause_final(cref);
+                }
+                1 if self.lit_value(stored[0]) == LBool::Undef => {
+                    // Unit under the root-level assignment.
+                    self.enqueue(stored[0], Some(cref));
+                }
+                _ => {}
             }
         }
         self.num_original = self.original_refs.len();
@@ -346,14 +410,10 @@ impl Solver {
     /// to zero for variables beyond the end of `scores`. The ranking matters
     /// only when [`SolverOptions::order_mode`] is static or dynamic.
     ///
-    /// # Panics
-    ///
-    /// Panics if called after the first solve call.
+    /// May be called **between solve episodes**: each episode re-seeds the
+    /// decision ordering from the ranking installed last, which is how the
+    /// paper's per-depth `varRank` refresh reaches a live session solver.
     pub fn set_var_ranking(&mut self, scores: &[u64]) {
-        assert!(
-            !self.started,
-            "the ranking must be installed before solving"
-        );
         self.bmc_scores = scores.to_vec();
     }
 
@@ -364,7 +424,27 @@ impl Solver {
     /// Never returns [`SolveResult::Unknown`]; panics if it would (cannot
     /// happen without limits).
     pub fn solve(&mut self) -> SolveResult {
-        let result = self.solve_limited(&Limits::default());
+        self.solve_under(&[])
+    }
+
+    /// Solves under the given assumption literals, without resource limits.
+    ///
+    /// Assumptions are handled IPASIR-style, as pseudo-decisions above level
+    /// 0: each is decided (in order) before any heuristic decision, and the
+    /// search never backtracks past an assumption without first deriving its
+    /// negation. The answer is therefore relative to the assumptions —
+    /// [`SolveResult::Sat`] means the clauses **and** the assumptions hold
+    /// together, [`SolveResult::Unsat`] means they cannot; in the latter
+    /// case [`Solver::failed_assumptions`] names the assumption subset the
+    /// final conflict used. Assumptions hold for one episode only; clauses,
+    /// learned clauses, and heuristic state persist across episodes.
+    ///
+    /// # Panics
+    ///
+    /// Never returns [`SolveResult::Unknown`]; panics if it would (cannot
+    /// happen without limits).
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let result = self.solve_under_limited(assumptions, &Limits::default());
         assert_ne!(
             result,
             SolveResult::Unknown,
@@ -375,34 +455,54 @@ impl Solver {
 
     /// Solves under resource limits. Returns [`SolveResult::Unknown`] when a
     /// limit is exceeded; calling again (with fresh limits) resumes the
-    /// search from where it stopped.
+    /// search with everything learned so far.
     pub fn solve_limited(&mut self, limits: &Limits) -> SolveResult {
-        if let Some(result) = self.result {
-            return result;
+        self.solve_under_limited(&[], limits)
+    }
+
+    /// Solves under assumption literals **and** resource limits (see
+    /// [`Solver::solve_under`] and [`Solver::solve_limited`]).
+    pub fn solve_under_limited(&mut self, assumptions: &[Lit], limits: &Limits) -> SolveResult {
+        self.stats.solve_calls += 1;
+        if !self.ok {
+            // The clause database is unsatisfiable outright; the permanent
+            // core (if recorded) stays available.
+            self.failed.clear();
+            self.model = None;
+            self.result = Some(SolveResult::Unsat);
+            return SolveResult::Unsat;
         }
+
+        // --- episode setup -------------------------------------------------
+        self.backtrack(0);
+        self.result = None;
+        self.model = None;
+        self.core = None;
+        self.failed.clear();
+        self.assumptions.clear();
+        self.assumptions.extend_from_slice(assumptions);
+        for &a in assumptions {
+            self.reserve_vars(a.var().index() + 1);
+        }
+        self.switched = false;
+        self.stats.switched_to_vsids = false;
+        self.episode_decisions_base = self.stats.decisions;
         let base_conflicts = self.stats.conflicts;
         let base_decisions = self.stats.decisions;
         let base_propagations = self.stats.propagations;
 
         if !self.started {
             self.started = true;
-            self.cdg = Cdg::new(self.num_original);
             self.first_learned = self.clauses.end_offset();
             if let Some(empty) = self.empty_clause {
-                let id = self.clauses.cdg_id(empty);
-                self.finish_unsat(vec![id]);
+                self.record_conflict_clause_final(empty);
                 return SolveResult::Unsat;
             }
-            let use_bmc = !matches!(self.opts.order_mode, OrderMode::Standard);
-            let scores = std::mem::take(&mut self.bmc_scores);
-            self.order.set_bmc_scores(&scores, use_bmc);
-            self.bmc_scores = scores;
-            self.order.rebuild(&self.values);
             // Enqueue the input unit clauses at level 0.
             for i in 0..self.pending_units.len() {
                 let cref = self.pending_units[i];
                 let lit = self.clauses.lit(cref, 0);
-                match self.values[lit.var().index()].xor(lit.is_negative()) {
+                match self.lit_value(lit) {
                     LBool::Undef => self.enqueue(lit, Some(cref)),
                     LBool::True => {}
                     LBool::False => {
@@ -411,7 +511,17 @@ impl Solver {
                     }
                 }
             }
+        } else {
+            self.stats.learned_retained += self.live_learned;
         }
+        // Re-seed the decision ordering: the ranking may have been replaced
+        // between episodes (the per-depth varRank refresh), and the dynamic
+        // configuration starts every episode in refined mode.
+        let use_bmc = !matches!(self.opts.order_mode, OrderMode::Standard);
+        let scores = std::mem::take(&mut self.bmc_scores);
+        self.order.set_bmc_scores(&scores, use_bmc);
+        self.bmc_scores = scores;
+        self.order.rebuild(&self.values);
 
         loop {
             if let Some(conflict) = self.propagate() {
@@ -430,15 +540,35 @@ impl Solver {
                 if self.limit_exceeded(limits, base_conflicts, base_decisions, base_propagations) {
                     return SolveResult::Unknown;
                 }
-                match self.order.pop_best(&self.values) {
-                    Some(lit) => {
-                        self.stats.decisions += 1;
-                        self.trail_lim.push(self.trail.len());
-                        self.enqueue(lit, None);
+                let next_assumption = self.trail_lim.len();
+                if next_assumption < self.assumptions.len() {
+                    let a = self.assumptions[next_assumption];
+                    match self.lit_value(a) {
+                        // Already implied: open an empty pseudo-level so
+                        // assumption index and decision level stay aligned.
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                        LBool::False => {
+                            // The clauses force the assumption's negation.
+                            self.analyze_final(a);
+                            return SolveResult::Unsat;
+                        }
                     }
-                    None => {
-                        self.finish_sat();
-                        return SolveResult::Sat;
+                } else {
+                    match self.order.pop_best(&self.values) {
+                        Some(lit) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(lit, None);
+                        }
+                        None => {
+                            self.finish_sat();
+                            return SolveResult::Sat;
+                        }
                     }
                 }
             }
@@ -453,9 +583,22 @@ impl Solver {
 
     /// The unsatisfiable core, if the last solve returned UNSAT and CDG
     /// recording was enabled: sorted IDs (input positions) of the original
-    /// clauses responsible for the final conflict (§3.1).
+    /// clauses responsible for the final conflict (§3.1). For an UNSAT
+    /// answer under assumptions this is the core of the proof that the
+    /// assumptions contradict the clauses.
     pub fn core_clauses(&self) -> Option<&[usize]> {
         self.core.as_deref()
+    }
+
+    /// The subset of the last episode's assumptions involved in the final
+    /// conflict, when the episode returned [`SolveResult::Unsat`] because an
+    /// assumption failed. Empty after SAT, and empty when the clauses are
+    /// unsatisfiable regardless of the assumptions.
+    ///
+    /// The subset is the one traced by conflict analysis — small in
+    /// practice, though (as in IPASIR) not guaranteed to be minimal.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
     }
 
     /// The variables appearing in the unsatisfiable core (§3.2 feeds these
@@ -778,11 +921,28 @@ impl Solver {
         }
     }
 
-    /// Deletes the less relevant half of the learned clauses (by activity,
-    /// then recency) and compacts the arena, relocating the survivors so the
-    /// learned region stays contiguous — no tombstones for BCP to skip.
-    /// Locked clauses (reasons of current assignments) and short clauses are
-    /// kept. Bodies are freed; CDG pseudo-IDs survive in the headers.
+    /// A learned clause satisfied by a root-level fact is satisfied forever
+    /// (root assignments are never undone). In an incremental session this
+    /// is how each depth's garbage is identified: once the engine retires an
+    /// activation literal with a `¬a_k` unit, every clause that learned
+    /// `…∨ ¬a_k` from the depth-`k` conflicts matches this test.
+    fn root_satisfied(&self, cref: ClauseRef) -> bool {
+        (0..self.clauses.len(cref)).any(|i| {
+            let lit = self.clauses.lit(cref, i);
+            self.lit_value(lit) == LBool::True && self.levels[lit.var().index()] == 0
+        })
+    }
+
+    /// Deletes learned clauses that can never matter again (satisfied at the
+    /// root — see [`Solver::root_satisfied`]) plus the less relevant half of
+    /// the remaining learned clauses (by activity, then recency), and
+    /// compacts the arena, relocating the survivors so the region stays
+    /// contiguous — no tombstones for BCP to skip. Locked clauses (reasons
+    /// of current assignments) and short clauses are kept. Bodies are freed;
+    /// CDG pseudo-IDs survive in the headers. Original clauses added
+    /// mid-session live interleaved with the learned records; they are never
+    /// deleted, but they may be relocated, so `original_refs` is patched
+    /// alongside `reasons`.
     fn reduce_learned_db(&mut self) {
         // (activity, cref) over unlocked long learned clauses.
         let mut candidates: Vec<(u32, ClauseRef)> = Vec::new();
@@ -793,8 +953,17 @@ impl Solver {
         };
         while let Some(cref) = cursor {
             cursor = self.clauses.next(cref);
-            debug_assert!(self.clauses.is_learned(cref));
-            if self.clauses.len(cref) <= 2 || self.is_locked(cref) {
+            if !self.clauses.is_learned(cref) || self.is_locked(cref) {
+                continue;
+            }
+            if self.root_satisfied(cref) {
+                self.clauses.mark_deleted(cref);
+                self.live_learned -= 1;
+                self.stats.deleted += 1;
+                self.stats.root_satisfied_deleted += 1;
+                continue;
+            }
+            if self.clauses.len(cref) <= 2 {
                 continue;
             }
             candidates.push((self.clauses.activity(cref), cref));
@@ -811,12 +980,19 @@ impl Solver {
         let remap = self.clauses.compact_learned(self.first_learned);
         self.stats.compactions += 1;
         if !remap.is_empty() {
-            for reason in self.reasons.iter_mut().flatten() {
-                if reason.offset() >= self.first_learned {
-                    if let Ok(i) = remap.binary_search_by_key(&reason.offset(), |&(old, _)| old) {
-                        *reason = ClauseRef::at(remap[i].1);
+            let first_learned = self.first_learned;
+            let patch = move |r: &mut ClauseRef| {
+                if r.offset() >= first_learned {
+                    if let Ok(i) = remap.binary_search_by_key(&r.offset(), |&(old, _)| old) {
+                        *r = ClauseRef::at(remap[i].1);
                     }
                 }
+            };
+            for reason in self.reasons.iter_mut().flatten() {
+                patch(reason);
+            }
+            for original in self.original_refs.iter_mut() {
+                patch(original);
             }
         }
         // Halve activities so future reductions favour recent relevance.
@@ -862,7 +1038,8 @@ impl Solver {
             return;
         }
         if let OrderMode::Dynamic { divisor } = self.opts.order_mode {
-            if self.stats.decisions > self.num_original_lits / u64::from(divisor.max(1)) {
+            let episode_decisions = self.stats.decisions - self.episode_decisions_base;
+            if episode_decisions > self.num_original_lits / u64::from(divisor.max(1)) {
                 self.switched = true;
                 self.stats.switched_to_vsids = true;
                 self.order.disable_bmc();
@@ -906,18 +1083,90 @@ impl Solver {
     }
 
     fn finish_sat(&mut self) {
+        // Variables no clause mentions (an incremental session reserves the
+        // whole future variable range up front) are never decided; they
+        // default to false in the model.
         let model = self
             .values
             .iter()
-            .map(|v| v.to_bool().expect("SAT leaves no variable unassigned"))
+            .map(|v| v.to_bool().unwrap_or(false))
             .collect();
         self.model = Some(model);
         self.result = Some(SolveResult::Sat);
     }
 
+    /// The episode's failing assumption `a` is falsified by the current
+    /// trail: walks the reason chain of `¬a` back through the assumption
+    /// levels, collecting (a) the assumption pseudo-decisions the refutation
+    /// rests on — the *failed assumptions* — and (b) the CDG antecedents of
+    /// every reason clause crossed, from which the per-episode unsatisfiable
+    /// core is extracted. This is the assumption-based analogue of the final
+    /// empty-clause conflict: nothing is recorded permanently, because the
+    /// clause database itself stays satisfiable.
+    fn analyze_final(&mut self, failing: Lit) {
+        self.stats.assumption_conflicts += 1;
+        self.failed.clear();
+        self.failed.push(failing);
+        self.conflict_ants.clear();
+        let v0 = failing.var().index();
+        if self.levels[v0] == 0 {
+            // The clauses alone already imply ¬a at the root.
+            if self.opts.record_cdg {
+                let node = self.unit_node[v0].expect("root-level assignment has a unit node");
+                self.conflict_ants.push(node);
+                self.core = Some(self.cdg.core_from(&self.conflict_ants));
+            }
+            self.result = Some(SolveResult::Unsat);
+            return;
+        }
+        self.seen[v0] = true;
+        let bottom = self.trail_lim[0];
+        for i in (bottom..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            match self.reasons[v] {
+                None => {
+                    // A pseudo-decision: only assumptions are decided while
+                    // assumption levels are still being established.
+                    self.failed.push(lit);
+                }
+                Some(reason) => {
+                    if self.opts.record_cdg {
+                        self.conflict_ants.push(self.clauses.cdg_id(reason));
+                    }
+                    for j in 0..self.clauses.len(reason) {
+                        let q = self.clauses.lit(reason, j);
+                        let qv = q.var().index();
+                        if qv == v {
+                            continue;
+                        }
+                        if self.levels[qv] == 0 {
+                            if self.opts.record_cdg {
+                                let node = self.unit_node[qv]
+                                    .expect("root-level assignment has a unit node");
+                                self.conflict_ants.push(node);
+                            }
+                        } else {
+                            self.seen[qv] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if self.opts.record_cdg {
+            self.core = Some(self.cdg.core_from(&self.conflict_ants));
+        }
+        self.result = Some(SolveResult::Unsat);
+    }
+
     /// Records the final (empty-clause) conflict: the conflicting clause plus
     /// the root-level unit facts of each of its literals, then extracts the
-    /// core.
+    /// core. The clause database itself is unsatisfiable, so the solver is
+    /// finished for good: every later episode answers UNSAT immediately.
     fn record_conflict_clause_final(&mut self, conflict: ClauseRef) {
         if self.opts.record_cdg {
             let mut ants = vec![self.clauses.cdg_id(conflict)];
@@ -929,11 +1178,16 @@ impl Solver {
             }
             self.finish_unsat(ants);
         } else {
-            self.result = Some(SolveResult::Unsat);
+            self.finish_unsat(Vec::new());
         }
     }
 
     fn finish_unsat(&mut self, final_antecedents: Vec<ClauseId>) {
+        self.ok = false;
+        // A mid-episode (or mid-session `add_clause`) refutation invalidates
+        // any previously published episode results.
+        self.model = None;
+        self.failed.clear();
         if self.opts.record_cdg {
             self.cdg.record_final(final_antecedents);
             self.core = self.cdg.extract_core();
@@ -1111,10 +1365,129 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before the first solve")]
-    fn adding_clause_after_solve_panics() {
-        let (_, mut s) = solve_text("p cnf 1 1\n1 0\n");
+    fn clauses_can_be_added_between_episodes() {
+        let (r, mut s) = solve_text("p cnf 2 1\n1 2 0\n");
+        assert_eq!(r, SolveResult::Sat);
         s.add_clause(&[lit(-1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().unwrap();
+        assert!(!model[0] && model[1]);
+        s.add_clause(&[lit(-2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        // All three clauses participate in the refutation.
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1, 2]);
+        // The database itself is unsatisfiable: later episodes answer
+        // immediately, whatever the assumptions.
+        assert_eq!(s.solve_under(&[lit(1)]), SolveResult::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn refuting_add_clause_clears_stale_model() {
+        let (r, mut s) = solve_text("p cnf 1 1\n1 0\n");
+        assert_eq!(r, SolveResult::Sat);
+        assert!(s.model().is_some());
+        // The contradicting unit refutes the database at add time; the
+        // previous episode's model must not survive next to an Unsat result.
+        s.add_clause(&[lit(-1)]);
+        assert_eq!(s.result(), Some(SolveResult::Unsat));
+        assert!(s.model().is_none());
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn assumptions_restrict_a_single_episode() {
+        let f = parse_dimacs("p cnf 2 1\n1 2 0\n").unwrap();
+        let mut s = Solver::from_formula(&f);
+        assert_eq!(s.solve_under(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        // Both assumptions are needed to contradict (x1 ∨ x2).
+        let mut failed = s.failed_assumptions().to_vec();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![lit(-1), lit(-2)]);
+        assert_eq!(s.core_clauses().unwrap(), &[0]);
+        // The same solver, under the opposite assumption: SAT, with the
+        // assumption reflected in the model.
+        assert_eq!(s.solve_under(&[lit(-1)]), SolveResult::Sat);
+        let model = s.model().unwrap();
+        assert!(!model[0] && model[1]);
+        assert!(s.failed_assumptions().is_empty());
+        // And with no assumptions at all the formula stays SAT.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn failed_assumptions_exclude_irrelevant_ones() {
+        // x3 is constrained only against x4; assuming it is harmless.
+        let f = parse_dimacs("p cnf 4 2\n-1 -2 0\n-3 4 0\n").unwrap();
+        let mut s = Solver::from_formula(&f);
+        assert_eq!(s.solve_under(&[lit(3), lit(1), lit(2)]), SolveResult::Unsat);
+        let mut failed = s.failed_assumptions().to_vec();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![lit(1), lit(2)], "x3 must not be blamed");
+        // The core names only the clause linking the failed assumptions.
+        assert_eq!(s.core_clauses().unwrap(), &[0]);
+    }
+
+    #[test]
+    fn root_implied_assumption_failure_has_unit_core() {
+        // Units force ¬x2 outright; assuming x2 fails with core {x1, x1→¬x2}.
+        let f = parse_dimacs("p cnf 2 2\n1 0\n-1 -2 0\n").unwrap();
+        let mut s = Solver::from_formula(&f);
+        assert_eq!(s.solve_under(&[lit(2)]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[lit(2)]);
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn contradictory_assumptions_fail_against_each_other() {
+        let f = parse_dimacs("p cnf 1 0\n").unwrap();
+        let mut s = Solver::from_formula(&f);
+        assert_eq!(s.solve_under(&[lit(1), lit(-1)]), SolveResult::Unsat);
+        let mut failed = s.failed_assumptions().to_vec();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![lit(1), lit(-1)]);
+        // No clause is involved: the assumptions refute themselves.
+        assert_eq!(s.core_clauses().unwrap(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn ranking_can_be_reseeded_between_episodes() {
+        let f = parse_dimacs("p cnf 4 2\n1 2 0\n3 4 0\n").unwrap();
+        let mut s = Solver::from_formula_with(
+            &f,
+            SolverOptions {
+                order_mode: OrderMode::Static,
+                ..SolverOptions::default()
+            },
+        );
+        s.set_var_ranking(&[0, 0, 0, 7]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap()[3], "x4 decided first");
+        // Re-rank on the live solver: the next episode decides x3 first.
+        s.set_var_ranking(&[0, 0, 9, 0]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model().unwrap()[2], "x3 decided first after re-ranking");
+    }
+
+    #[test]
+    fn activation_literal_pattern_drives_session() {
+        // The BMC engine's scheme in miniature: a_k → bad_k, assume a_k,
+        // then retire it with ¬a_k. Here x3/x4 are two "bad" flags with
+        // x1-chained consequences, x5/x6 the activation literals.
+        let f = parse_dimacs("p cnf 6 3\n1 0\n-5 -1 0\n-6 2 0\n").unwrap();
+        let mut s = Solver::from_formula(&f);
+        // Depth 0: a_0 = x5 forces ¬x1, contradicting the unit x1.
+        assert_eq!(s.solve_under(&[lit(5)]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[lit(5)]);
+        assert_eq!(s.core_clauses().unwrap(), &[0, 1]);
+        // Retire a_0 and move to depth 1: a_1 = x6 is satisfiable.
+        s.add_clause(&[lit(-5)]);
+        assert_eq!(s.solve_under(&[lit(6)]), SolveResult::Sat);
+        let model = s.model().unwrap();
+        assert!(model[5] && model[1] && !model[4]);
+        let stats = s.stats();
+        assert_eq!(stats.assumption_conflicts, 1);
+        assert!(stats.solve_calls >= 2);
     }
 
     #[test]

@@ -41,8 +41,24 @@ pub struct SolverStats {
     /// (each one relocates the surviving learned clauses and rebuilds the
     /// watch lists).
     pub compactions: u64,
+    /// Number of learned clauses deleted because a level-0 fact (typically a
+    /// retired activation literal of the incremental session) satisfies them
+    /// forever.
+    pub root_satisfied_deleted: u64,
     /// Number of literals in all learned clauses (for overhead accounting).
     pub learned_literals: u64,
+    /// Number of solve episodes
+    /// ([`Solver::solve_under`](crate::Solver::solve_under) /
+    /// [`Solver::solve_limited`](crate::Solver::solve_limited) calls) run on
+    /// this solver.
+    pub solve_calls: u64,
+    /// Number of solve episodes that ended UNSAT because an assumption
+    /// failed (the incremental session's per-depth UNSAT verdicts).
+    pub assumption_conflicts: u64,
+    /// Total learned clauses alive at the start of each solve episode after
+    /// the first — the work an incremental session carries across calls that
+    /// a fresh-per-depth setup would discard.
+    pub learned_retained: u64,
     /// Number of VSIDS halving rounds applied to `cha_score`.
     pub score_halvings: u64,
     /// True if the dynamic configuration gave up on the refined ordering and
@@ -71,7 +87,11 @@ impl SolverStats {
         self.deleted += other.deleted;
         self.tautologies += other.tautologies;
         self.compactions += other.compactions;
+        self.root_satisfied_deleted += other.root_satisfied_deleted;
         self.learned_literals += other.learned_literals;
+        self.solve_calls += other.solve_calls;
+        self.assumption_conflicts += other.assumption_conflicts;
+        self.learned_retained += other.learned_retained;
         self.score_halvings += other.score_halvings;
         self.switched_to_vsids |= other.switched_to_vsids;
         self.cdg_nodes += other.cdg_nodes;

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example ordering_comparison`
 
-use refined_bmc::bmc::{BmcEngine, BmcOptions, OrderingStrategy};
+use refined_bmc::bmc::{BmcEngine, BmcOptions, OrderingStrategy, SolverReuse};
 use refined_bmc::gens::families;
 
 fn main() {
@@ -27,6 +27,11 @@ fn main() {
             BmcOptions {
                 max_depth,
                 strategy,
+                // The ordering comparison is a fresh-per-depth story: the
+                // default incremental session reuses learned clauses across
+                // depths, which shrinks every strategy's search tree and
+                // hides the gap this example demonstrates.
+                reuse: SolverReuse::Fresh,
                 ..BmcOptions::default()
             },
         );
