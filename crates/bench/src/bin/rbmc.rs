@@ -1,0 +1,459 @@
+//! `rbmc` — the HWMCC-style corpus runner.
+//!
+//! Sweeps a directory of AIGER benchmarks (`.aag` ASCII and `.aig` binary),
+//! checks **every** bad-state property of each file in one incremental
+//! solving session ([`BmcEngine::for_problem`]), and reports per property in
+//! the HWMCC output convention: status `1` plus an AIGER witness
+//! (initial-state line, one input line per frame, terminated by `.`) for a
+//! falsified property, status `2` for a property still open at the depth
+//! bound. Every witness is soundness-gated before it is printed: the trace
+//! is validated on the netlist ([`Trace::validate_against`]) *and* replayed
+//! through the original AIG ([`rbmc_circuit::Aig::eval_frame`]); a failure
+//! of either aborts the run with a non-zero exit code.
+//!
+//! Usage:
+//!
+//! ```text
+//! rbmc [DIR] [--export-corpus DIR] [--depth N] [--reuse fresh|session]
+//!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--selfcheck] [--smoke]
+//!      [--witness-dir DIR] [--json-out PATH | --no-json]
+//! ```
+//!
+//! - `--export-corpus DIR` first writes the gens suite as a fallback corpus
+//!   (`rbmc_gens::corpus`) into DIR; when no positional corpus directory is
+//!   given, the exported directory is then swept.
+//! - `--selfcheck` additionally re-checks every property with
+//!   fresh-per-depth single-property runs ([`SolverReuse::Fresh`]) and
+//!   fails if any per-depth verdict differs from the session run — the
+//!   multi-property differential gate, run per file.
+//! - `--smoke` shrinks the export to the small suite and the default depth
+//!   bound to 10 (CI mode).
+//!
+//! The run is recorded as a machine-readable `BENCH_corpus.json` artifact
+//! with one case per (file, property), carrying the per-property session
+//! counters (episodes, assumption conflicts, retirement depth).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rbmc_bench::{BenchCase, BenchReport};
+use rbmc_circuit::aiger::parse_aiger;
+use rbmc_circuit::Aig;
+use rbmc_core::{
+    BmcEngine, BmcOptions, OrderingStrategy, ProblemBuilder, PropertyVerdict, SolveResult,
+    SolverReuse, Trace,
+};
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_strategy(args: &[String], divisor: u32) -> OrderingStrategy {
+    match flag_value(args, "--strategy") {
+        None | Some("dyn") => OrderingStrategy::RefinedDynamic { divisor },
+        Some("bmc") => OrderingStrategy::Standard,
+        Some("sta") => OrderingStrategy::RefinedStatic,
+        Some("sht") => OrderingStrategy::Shtrichman,
+        Some(other) => {
+            eprintln!("error: --strategy requires bmc|sta|dyn|sht, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Renders one property's HWMCC-style result block: `1` + witness + `.` for
+/// a counterexample, `2` for a property the bounded sweep leaves open.
+fn witness_text(prop_index: usize, verdict: &PropertyVerdict, trace: Option<&Trace>) -> String {
+    let mut out = String::new();
+    match verdict {
+        PropertyVerdict::Falsified { .. } => {
+            let trace = trace.expect("falsified verdict carries a trace");
+            out.push_str("1\n");
+            out.push_str(&format!("b{prop_index}\n"));
+            let bits =
+                |v: &[bool]| -> String { v.iter().map(|&b| if b { '1' } else { '0' }).collect() };
+            out.push_str(&format!("{}\n", bits(trace.initial_state())));
+            for frame in trace.inputs() {
+                out.push_str(&format!("{}\n", bits(frame)));
+            }
+            out.push_str(".\n");
+        }
+        PropertyVerdict::OpenAt { .. } | PropertyVerdict::Unknown => {
+            out.push_str("2\n");
+            out.push_str(&format!("b{prop_index}\n"));
+            out.push_str(".\n");
+        }
+    }
+    out
+}
+
+/// Replays a trace through the *original AIG* (not the raised netlist the
+/// engine solved) and checks that the property's bad literal holds at the
+/// final frame — the second half of the witness soundness gate.
+fn replay_on_aig(aig: &Aig, prop_index: usize, trace: &Trace) -> Result<(), String> {
+    let props = if aig.bads().is_empty() {
+        aig.outputs()
+    } else {
+        aig.bads()
+    };
+    let (_, bad_lit) = &props[prop_index];
+    if trace.initial_state().len() != aig.latches().len() {
+        return Err("trace initial state does not match the AIG's latch count".into());
+    }
+    let mut state = trace.initial_state().to_vec();
+    for (frame, inputs) in trace.inputs().iter().enumerate() {
+        if inputs.len() != aig.inputs().len() {
+            return Err(format!(
+                "frame {frame} inputs do not match the AIG's input count"
+            ));
+        }
+        let values = aig.eval_frame(&state, inputs);
+        let bad = bad_lit.apply(values[bad_lit.node()]);
+        if frame == trace.depth() {
+            return if bad {
+                Ok(())
+            } else {
+                Err(format!("bad literal is false at final frame {frame}"))
+            };
+        }
+        if frame + 1 < trace.inputs().len() {
+            state = aig
+                .latches()
+                .iter()
+                .map(|&l| {
+                    let nx = aig.next_of(l).expect("latch connected");
+                    nx.apply(values[nx.node()])
+                })
+                .collect();
+        }
+    }
+    Err("trace has no frames".into())
+}
+
+/// The per-file check: one session run over all properties, witness gates,
+/// optional fresh-per-depth differential, report cases.
+#[allow(clippy::too_many_arguments)]
+fn check_file(
+    path: &Path,
+    options: &BmcOptions,
+    selfcheck: bool,
+    witness_dir: Option<&Path>,
+    report: &mut BenchReport,
+    reuse_label: &str,
+    strategy_label: &str,
+    quiet_witnesses: bool,
+) -> Result<(), String> {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("benchmark")
+        .to_string();
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let aig = parse_aiger(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    // One decode serves both the problem construction and the witness
+    // replay gate (VerificationProblem::from_aiger would re-parse).
+    let builder = ProblemBuilder::from_aig(&stem, &aig);
+    if builder.num_properties() == 0 {
+        return Err(format!(
+            "{}: aiger file declares no bad-state lines and no outputs",
+            path.display()
+        ));
+    }
+    let problem = builder.build();
+    let wall = Instant::now();
+    let mut engine = BmcEngine::for_problem(problem.clone(), *options);
+    let run = engine.run_collecting();
+    let wall = wall.elapsed();
+
+    println!(
+        "{}: {} propert{} to depth {} ({} vars, {} ands)",
+        stem,
+        problem.num_properties(),
+        if problem.num_properties() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        options.max_depth,
+        problem.netlist().num_nodes(),
+        aig.num_ands(),
+    );
+    for (idx, prop_report) in run.properties.iter().enumerate() {
+        let (status, detail) = match &prop_report.verdict {
+            PropertyVerdict::Falsified { depth, .. } => {
+                ("1", format!("counterexample at depth {depth}"))
+            }
+            PropertyVerdict::OpenAt { depth } => ("2", format!("open at depth {depth}")),
+            PropertyVerdict::Unknown => ("2", "unknown (budget exhausted)".to_string()),
+        };
+        println!("  b{idx} {}: {} ({})", prop_report.name, status, detail);
+
+        // Witness soundness gate: netlist replay and AIG replay must both
+        // accept every counterexample before it is emitted.
+        let trace = match &prop_report.verdict {
+            PropertyVerdict::Falsified { trace, .. } => {
+                trace
+                    .validate_against(problem.netlist(), problem.property(idx).bad())
+                    .map_err(|e| {
+                        format!(
+                            "{stem}::{}: witness fails netlist replay: {e}",
+                            prop_report.name
+                        )
+                    })?;
+                replay_on_aig(&aig, idx, trace).map_err(|e| {
+                    format!(
+                        "{stem}::{}: witness fails AIG replay: {e}",
+                        prop_report.name
+                    )
+                })?;
+                Some(trace)
+            }
+            _ => None,
+        };
+        let text = witness_text(idx, &prop_report.verdict, trace);
+        if let Some(dir) = witness_dir {
+            let wpath = dir.join(format!("{stem}.b{idx}.wit"));
+            std::fs::write(&wpath, &text).map_err(|e| format!("{}: {e}", wpath.display()))?;
+        } else if !quiet_witnesses {
+            print!("{text}");
+        }
+
+        let (completed_depth, verdict_ok) = match &prop_report.verdict {
+            PropertyVerdict::Falsified { depth, .. } => (*depth, true),
+            PropertyVerdict::OpenAt { depth } => (*depth, true),
+            PropertyVerdict::Unknown => (0, false),
+        };
+        report.push(BenchCase {
+            name: format!("{stem}::{}", prop_report.name),
+            strategy: format!("{strategy_label}/{reuse_label}"),
+            // The session run is shared by all of the file's properties, so
+            // the per-case wall time is the file's share — summing the cases
+            // of a file (or the whole artifact) yields real wall time. The
+            // undivided figure rides along as `file_wall_s`.
+            wall_s: wall.as_secs_f64() / run.properties.len() as f64,
+            conflicts: prop_report.conflicts,
+            decisions: prop_report.decisions,
+            propagations: prop_report.propagations,
+            completed_depth,
+            verdict_ok,
+            extra: vec![
+                ("properties".into(), run.properties.len() as f64),
+                ("file_wall_s".into(), wall.as_secs_f64()),
+                ("episodes".into(), prop_report.episodes as f64),
+                (
+                    "assumption_conflicts".into(),
+                    prop_report.assumption_conflicts as f64,
+                ),
+                (
+                    "retirement_depth".into(),
+                    prop_report.retirement_depth.map_or(-1.0, |d| d as f64),
+                ),
+                ("solve_calls".into(), run.solver_stats.solve_calls as f64),
+                (
+                    "learned_retained".into(),
+                    run.solver_stats.learned_retained as f64,
+                ),
+            ],
+        });
+    }
+
+    if selfcheck {
+        // The differential gate: each property re-checked alone, with a
+        // fresh solver per depth; per-depth verdicts must be identical.
+        for (idx, prop_report) in run.properties.iter().enumerate() {
+            let single = ProblemBuilder::new(&stem, problem.netlist().clone())
+                .property(&prop_report.name, problem.property(idx).bad())
+                .build();
+            let mut fresh_engine = BmcEngine::for_problem(
+                single,
+                BmcOptions {
+                    reuse: SolverReuse::Fresh,
+                    ..*options
+                },
+            );
+            let fresh_run = fresh_engine.run_collecting();
+            let fresh_verdicts: Vec<SolveResult> =
+                fresh_run.per_depth.iter().map(|d| d.result).collect();
+            if prop_report.depth_results != fresh_verdicts {
+                return Err(format!(
+                    "{stem}::{}: session verdicts {:?} != fresh verdicts {:?}",
+                    prop_report.name, prop_report.depth_results, fresh_verdicts
+                ));
+            }
+        }
+        println!("  selfcheck: per-depth verdicts match fresh-per-depth runs");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--small");
+    let selfcheck = args.iter().any(|a| a == "--selfcheck");
+    let quiet_witnesses = args.iter().any(|a| a == "--quiet-witnesses");
+    let depth: usize = flag_value(&args, "--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 10 } else { 20 });
+    let divisor: u32 = flag_value(&args, "--divisor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let strategy = parse_strategy(&args, divisor);
+    let reuse = rbmc_bench::cli_reuse(&args, SolverReuse::Session);
+    let witness_dir = flag_value(&args, "--witness-dir").map(PathBuf::from);
+    if let Some(dir) = &witness_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create witness dir {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let export_dir = match args.iter().position(|a| a == "--export-corpus") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => Some(PathBuf::from(dir)),
+            _ => {
+                eprintln!("error: --export-corpus requires a directory argument");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    if let Some(dir) = &export_dir {
+        let suite = if smoke {
+            rbmc_gens::small_suite()
+        } else {
+            rbmc_gens::suite_table1()
+        };
+        match rbmc_gens::corpus::export_corpus(dir, &suite) {
+            Ok(written) => eprintln!(
+                "exported {} corpus files to {}",
+                written.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("error: corpus export failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    // The corpus directory: first positional (non-flag) argument, falling
+    // back to a directory just exported.
+    let value_flags = [
+        "--depth",
+        "--divisor",
+        "--strategy",
+        "--reuse",
+        "--witness-dir",
+        "--json-out",
+        "--export-corpus",
+    ];
+    let mut positional: Option<PathBuf> = None;
+    let mut skip = false;
+    for arg in &args[1..] {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.contains(&arg.as_str()) {
+            skip = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        positional = Some(PathBuf::from(arg));
+        break;
+    }
+    let Some(corpus_dir) = positional.or(export_dir) else {
+        eprintln!(
+            "usage: rbmc [DIR] [--export-corpus DIR] [--depth N] \
+             [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
+             [--selfcheck] [--smoke] [--witness-dir DIR] [--json-out PATH | --no-json]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&corpus_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("aag") | Some("aig")
+                )
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", corpus_dir.display());
+            return ExitCode::from(1);
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "error: no .aag/.aig benchmarks in {} (try --export-corpus)",
+            corpus_dir.display()
+        );
+        return ExitCode::from(1);
+    }
+
+    let options = BmcOptions {
+        max_depth: depth,
+        strategy,
+        reuse,
+        ..BmcOptions::default()
+    };
+    let mut report = BenchReport::new(format!(
+        "rbmc corpus ({}, depth={depth}, strategy={}, reuse={}{})",
+        corpus_dir.display(),
+        strategy.label(),
+        reuse.label(),
+        if selfcheck { ", selfcheck" } else { "" }
+    ));
+    let start = Instant::now();
+    let mut failures = 0usize;
+    for path in &files {
+        if let Err(e) = check_file(
+            path,
+            &options,
+            selfcheck,
+            witness_dir.as_deref(),
+            &mut report,
+            reuse.label(),
+            strategy.label(),
+            quiet_witnesses,
+        ) {
+            eprintln!("FAIL {e}");
+            failures += 1;
+        }
+    }
+    let falsified = report
+        .cases
+        .iter()
+        .filter(|c| {
+            c.extra
+                .iter()
+                .any(|(k, v)| k == "retirement_depth" && *v >= 0.0)
+        })
+        .count();
+    println!(
+        "\nchecked {} files / {} properties in {:.3}s: {} falsified (witnesses validated), \
+         {} open, {} failures",
+        files.len(),
+        report.cases.len(),
+        start.elapsed().as_secs_f64(),
+        falsified,
+        report.cases.len() - falsified,
+        failures,
+    );
+    rbmc_bench::report::emit(&args, "corpus", &report);
+    if failures > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

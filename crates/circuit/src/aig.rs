@@ -106,6 +106,7 @@ pub struct Aig {
     latch_next: HashMap<usize, AigLit>,
     latch_init: HashMap<usize, LatchInit>,
     outputs: Vec<(String, AigLit)>,
+    bads: Vec<(String, AigLit)>,
 }
 
 impl Aig {
@@ -243,6 +244,17 @@ impl Aig {
         &self.outputs
     }
 
+    /// Declares a named bad-state property (an AIGER 1.9 `B` line): the
+    /// literal is 1 exactly in the bad states of one safety property.
+    pub fn add_bad(&mut self, name: &str, lit: AigLit) {
+        self.bads.push((name.to_string(), lit));
+    }
+
+    /// Declared bad-state properties, in declaration order.
+    pub fn bads(&self) -> &[(String, AigLit)] {
+        &self.bads
+    }
+
     /// Evaluates one frame: node values from latch and input values (both in
     /// creation order).
     ///
@@ -333,6 +345,88 @@ impl Aig {
             aig.add_output(name, lit);
         }
         NetlistToAig { aig, map }
+    }
+}
+
+/// The result of raising an [`Aig`] back to a [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct AigToNetlist {
+    /// The resulting netlist (one binary AND gate per AIG AND node).
+    pub netlist: Netlist,
+    /// For each AIG node index, the corresponding netlist signal. Read an
+    /// [`AigLit`] through it with [`AigToNetlist::signal_of`].
+    pub map: Vec<Signal>,
+}
+
+impl AigToNetlist {
+    /// The netlist signal an AIG literal corresponds to.
+    pub fn signal_of(&self, lit: AigLit) -> Signal {
+        let s = self.map[lit.node()];
+        if lit.is_inverted() {
+            !s
+        } else {
+            s
+        }
+    }
+}
+
+impl Aig {
+    /// Raises the AIG to a [`Netlist`] (the form the BMC pipeline consumes):
+    /// inputs, latches, and AND nodes are recreated in index order, so latch
+    /// and input *positions* are preserved — a trace extracted from the
+    /// netlist replays directly on [`Aig::eval_frame`]. Outputs are carried
+    /// over; bad-state properties are *not* netlist outputs — resolve them
+    /// through the returned map ([`AigToNetlist::signal_of`]).
+    ///
+    /// Nodes are generated fanin-first, so the netlist's folding may alias a
+    /// gate to a constant or an existing signal; the map always holds the
+    /// semantically equal signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some latch has no next-state function.
+    pub fn to_netlist(&self) -> AigToNetlist {
+        fn read(map: &[Signal], lit: AigLit) -> Signal {
+            let s = map[lit.node()];
+            if lit.is_inverted() {
+                !s
+            } else {
+                s
+            }
+        }
+        let mut netlist = Netlist::new();
+        let mut map: Vec<Signal> = vec![Signal::FALSE; self.nodes.len()];
+        let mut next_input = 0usize;
+        let mut next_latch = 0usize;
+        for (id, node) in self.nodes.iter().enumerate() {
+            map[id] = match node {
+                AigNodeKind::Const => Signal::FALSE,
+                AigNodeKind::Input => {
+                    let s = netlist.add_input(&format!("i{next_input}"));
+                    next_input += 1;
+                    s
+                }
+                AigNodeKind::Latch => {
+                    let init = self.init_of(id).unwrap_or(LatchInit::Zero);
+                    let s = netlist.add_latch(&format!("l{next_latch}"), init);
+                    next_latch += 1;
+                    s
+                }
+                AigNodeKind::And(a, b) => {
+                    let (sa, sb) = (read(&map, *a), read(&map, *b));
+                    netlist.and2(sa, sb)
+                }
+            };
+        }
+        for &latch in &self.latches {
+            let next = self.next_of(latch).expect("latch connected");
+            netlist.set_next(map[latch], read(&map, next));
+        }
+        for (name, lit) in &self.outputs {
+            let s = read(&map, *lit);
+            netlist.add_output(name, s);
+        }
+        AigToNetlist { netlist, map }
     }
 }
 
@@ -464,6 +558,72 @@ mod tests {
                 })
                 .collect();
         }
+    }
+
+    #[test]
+    fn to_netlist_preserves_behaviour_and_positions() {
+        // AIG with an input, two latches, shared AND structure, and an
+        // inverted output; raise it to a netlist and co-simulate.
+        let mut aig = Aig::new();
+        let x = aig.add_input();
+        let l0 = aig.add_latch(LatchInit::Zero);
+        let l1 = aig.add_latch(LatchInit::One);
+        let g = aig.xor2(x, l0);
+        let h = aig.mux(g, l1, !l0);
+        aig.set_next(l0, g);
+        aig.set_next(l1, !h);
+        aig.add_output("h", h);
+        let raised = aig.to_netlist();
+        let n = &raised.netlist;
+        assert!(n.validate().is_ok());
+        // Latch and input positions line up one-to-one.
+        assert_eq!(n.num_inputs(), aig.inputs().len());
+        assert_eq!(n.num_latches(), aig.latches().len());
+        let mut aig_state = vec![false, true];
+        let mut net_state = vec![false, true];
+        for step in 0..12 {
+            let inputs = [step % 3 == 1];
+            let av = aig.eval_frame(&aig_state, &inputs);
+            let nv = crate::sim::eval_frame(n, &net_state, &inputs);
+            let (_, out_lit) = &aig.outputs()[0];
+            let (_, out_sig) = &n.outputs()[0];
+            assert_eq!(
+                out_lit.apply(av[out_lit.node()]),
+                read_signal(&nv, *out_sig),
+                "step {step}"
+            );
+            aig_state = aig
+                .latches()
+                .iter()
+                .map(|&l| {
+                    let nx = aig.next_of(l).unwrap();
+                    nx.apply(av[nx.node()])
+                })
+                .collect();
+            net_state = n
+                .latches()
+                .iter()
+                .map(|&id| match n.node(id) {
+                    Node::Latch { next: Some(nx), .. } => read_signal(&nv, *nx),
+                    _ => unreachable!(),
+                })
+                .collect();
+        }
+    }
+
+    #[test]
+    fn to_netlist_maps_bad_literals() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(LatchInit::Zero);
+        aig.set_next(l, !l);
+        aig.add_bad("high", l);
+        let raised = aig.to_netlist();
+        let bad = raised.signal_of(aig.bads()[0].1);
+        // The bad literal is the latch itself: frame 0 value is the reset.
+        let vals = crate::sim::eval_frame(&raised.netlist, &[false], &[]);
+        assert!(!read_signal(&vals, bad));
+        let vals = crate::sim::eval_frame(&raised.netlist, &[true], &[]);
+        assert!(read_signal(&vals, bad));
     }
 
     #[test]

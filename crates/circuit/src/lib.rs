@@ -47,5 +47,5 @@ pub mod stats;
 mod aig;
 mod netlist;
 
-pub use aig::{Aig, AigLit};
+pub use aig::{Aig, AigLit, AigToNetlist, NetlistToAig};
 pub use netlist::{GateOp, LatchInit, Netlist, NetlistError, Node, NodeId, Signal};

@@ -1,4 +1,5 @@
-//! `refine_order_bmc` — the main loop of the paper's Fig. 5.
+//! `refine_order_bmc` — the main loop of the paper's Fig. 5, generalized to
+//! property sets.
 //!
 //! ```text
 //! refine_order_bmc(M, P) {
@@ -16,25 +17,31 @@
 //! By default the engine runs the loop as one **incremental solving
 //! session** ([`SolverReuse::Session`]): a single persistent [`Solver`]
 //! serves every depth. Each depth appends only the new frame's clauses
-//! (via [`Unroller::with_frame_delta`]), asserts the bad state through a
-//! per-depth *activation literal* `a_k` — the clause `a_k → bad_k` is added
-//! permanently, `a_k` is assumed for the depth-`k` solve, and a `¬a_k` unit
-//! retires it afterwards — and the solver keeps its learned clauses, phase
-//! assignments, and heuristic state warm across depths. The paper's
-//! per-depth `varRank` refresh becomes a [`Solver::set_var_ranking`] call
-//! between solve episodes. The paper's original regime — a fresh solver per
-//! depth, loading the whole prefix and discarding everything after the
-//! verdict — is preserved as [`SolverReuse::Fresh`] for differential
-//! testing and overhead measurements (the method is orthogonal to
-//! incremental SAT, so both regimes reach identical verdicts).
+//! (via [`Unroller::with_frame_delta`]) and then solves **every still-open
+//! property** under its own *activation literal*: for property `p` at depth
+//! `k` the clause `a_{p,k} → bad_p^k` is added permanently, `a_{p,k}` is
+//! assumed for that property's episode, and a `¬a_{p,k}` unit retires it
+//! afterwards. All properties of a [`VerificationProblem`] share the one
+//! unrolled transition relation, the solver's learned clauses, and the
+//! `varRank` table — which each depth refreshes from the **union** of the
+//! open properties' UNSAT cores ([`Solver::set_var_ranking`] between
+//! episodes). Properties retire individually: a SAT episode yields a
+//! validated [`Trace`] and removes the property from the sweep while the
+//! rest continue to the depth bound. The paper's original regime — a fresh
+//! solver per property per depth, loading the whole prefix and discarding
+//! everything after the verdict — is preserved as [`SolverReuse::Fresh`]
+//! for differential testing and overhead measurements (the method is
+//! orthogonal to incremental SAT, so both regimes reach identical
+//! verdicts).
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use rbmc_circuit::Signal;
 use rbmc_cnf::Lit;
 use rbmc_solver::{Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
 
-use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, Weighting};
+use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, VerificationProblem, Weighting};
 
 /// Which decision-ordering scheme `sat_check` uses (§3.3 plus baselines).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -82,13 +89,14 @@ impl OrderingStrategy {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SolverReuse {
     /// One persistent solver for the whole run: frames are appended
-    /// incrementally, bad states are asserted via assumed activation
-    /// literals, and learned clauses survive between depths.
+    /// incrementally, bad states are asserted via assumed per-property
+    /// activation literals, and learned clauses survive between depths and
+    /// between properties.
     #[default]
     Session,
-    /// A fresh solver per depth, loading the full clause prefix and the
-    /// bad-state unit — the paper's original (seed-identical) regime, kept
-    /// for differential testing against the session path.
+    /// A fresh solver per property per depth, loading the full clause prefix
+    /// and the bad-state unit — the paper's original (seed-identical) regime,
+    /// kept for differential testing against the session path.
     Fresh,
 }
 
@@ -119,6 +127,8 @@ pub struct BmcOptions {
     /// deletion, halving interval) applies as given.
     pub solver: SolverOptions,
     /// Optional conflict budget per depth (deterministic timeout stand-in).
+    /// With several open properties, the budget applies to each property's
+    /// episode at that depth.
     pub max_conflicts_per_depth: Option<u64>,
     /// Optional wall-clock deadline for the whole run.
     pub deadline: Option<Instant>,
@@ -144,11 +154,14 @@ impl Default for BmcOptions {
 }
 
 /// Statistics of one depth's `sat_check` (the per-`k` data behind Fig. 7).
+/// With several open properties, counters aggregate over every episode the
+/// depth ran (one per open property).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DepthStats {
     /// The unrolling depth `k`.
     pub depth: usize,
-    /// Verdict at this depth.
+    /// Verdict at this depth: `Sat` if any property's episode was SAT,
+    /// `Unknown` if a budget ran out, `Unsat` otherwise.
     pub result: SolveResult,
     /// Number of decisions (Fig. 7 left).
     pub decisions: u64,
@@ -160,7 +173,8 @@ pub struct DepthStats {
     pub num_vars: usize,
     /// CNF size: clauses.
     pub num_clauses: usize,
-    /// Variables in this depth's unsatisfiable core (0 if SAT or untracked).
+    /// Variables in the union of this depth's unsatisfiable cores (0 if SAT
+    /// or untracked).
     pub core_vars: usize,
     /// Whether the dynamic configuration fell back to VSIDS at this depth.
     pub switched_to_vsids: bool,
@@ -168,28 +182,93 @@ pub struct DepthStats {
     pub cdg_nodes: u64,
     /// Antecedent edges recorded in the simplified CDG.
     pub cdg_edges: u64,
-    /// Wall-clock time of this depth's solve.
+    /// Wall-clock time of this depth's solve episodes.
     pub time: Duration,
 }
 
-/// The outcome of a BMC run.
+/// The per-property verdict of a BMC run.
+#[derive(Clone, Debug)]
+pub enum PropertyVerdict {
+    /// The property fails: a validated counterexample of length `depth`.
+    Falsified {
+        /// Length of the counterexample (bad state at this frame).
+        depth: usize,
+        /// The counterexample itself, validated against this property's
+        /// bad-state signal.
+        trace: Trace,
+    },
+    /// Still open: no counterexample of length `≤ depth` exists.
+    OpenAt {
+        /// The deepest depth this property was proven UNSAT at.
+        depth: usize,
+    },
+    /// No depth completed for this property (a resource budget ran out
+    /// before its first verdict).
+    Unknown,
+}
+
+impl fmt::Display for PropertyVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyVerdict::Falsified { depth, .. } => {
+                write!(f, "falsified at depth {depth}")
+            }
+            PropertyVerdict::OpenAt { depth } => write!(f, "open at depth {depth}"),
+            PropertyVerdict::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Per-property report of a run: the verdict plus this property's share of
+/// the solver work (the per-property analog of [`DepthStats`]).
+#[derive(Clone, Debug)]
+pub struct PropertyReport {
+    /// Property name (from the problem's property set).
+    pub name: String,
+    /// The verdict.
+    pub verdict: PropertyVerdict,
+    /// Solve episodes run for this property (one per attempted depth).
+    pub episodes: u64,
+    /// Episodes that ended UNSAT as a failed-assumption conflict (session
+    /// runs only; fresh solvers assert the bad state as a unit instead).
+    pub assumption_conflicts: u64,
+    /// Decisions over this property's episodes.
+    pub decisions: u64,
+    /// Conflicts over this property's episodes.
+    pub conflicts: u64,
+    /// Propagations over this property's episodes.
+    pub propagations: u64,
+    /// Depth at which the property retired with a counterexample (`None`
+    /// while open).
+    pub retirement_depth: Option<usize>,
+    /// This property's per-depth verdict sequence (index = depth). The
+    /// differential gates compare these against fresh single-property runs.
+    pub depth_results: Vec<SolveResult>,
+}
+
+/// The overall outcome of a BMC run — the summary over the property set.
+/// Per-property verdicts live in [`BmcRun::properties`].
 #[derive(Clone, Debug)]
 pub enum BmcOutcome {
-    /// The property fails: a validated counterexample of length `depth`.
+    /// Some property fails; this is the shallowest counterexample found
+    /// (ties broken by property order). Other properties may still be open —
+    /// see the per-property reports.
     Counterexample {
         /// Length of the counterexample (bad state at this frame).
         depth: usize,
         /// The counterexample itself.
         trace: Trace,
     },
-    /// All depths up to `max_depth` are UNSAT: no counterexample of bounded
-    /// length exists (the paper's "property proven true up to the
-    /// completeness threshold").
+    /// Every depth up to `max_depth` is UNSAT for every (non-falsified)
+    /// property: no counterexample of bounded length exists (the paper's
+    /// "property proven true up to the completeness threshold").
     BoundReached {
         /// The last depth proven UNSAT.
         depth_completed: usize,
     },
-    /// A per-depth conflict budget or the deadline ran out at `at_depth`.
+    /// A per-depth conflict budget or the deadline ran out at `at_depth`
+    /// before any property was falsified (a found counterexample outranks a
+    /// later budget exhaustion in this summary).
     ResourceOut {
         /// Depth whose solve did not finish.
         at_depth: usize,
@@ -212,16 +291,19 @@ impl fmt::Display for BmcOutcome {
     }
 }
 
-/// Summary of a finished run: outcome plus all per-depth statistics.
+/// Summary of a finished run: outcome, per-property reports, and all
+/// per-depth statistics.
 #[derive(Clone, Debug)]
 pub struct BmcRun {
-    /// The verdict.
+    /// The summary verdict (single-property runs: the property's verdict).
     pub outcome: BmcOutcome,
+    /// One report per property of the problem, in property order.
+    pub properties: Vec<PropertyReport>,
     /// One entry per attempted depth, in order.
     pub per_depth: Vec<DepthStats>,
     /// Aggregate solver statistics over the whole run: the session solver's
-    /// final counters under [`SolverReuse::Session`], the per-depth solvers'
-    /// counters summed under [`SolverReuse::Fresh`]. Carries the
+    /// final counters under [`SolverReuse::Session`], the per-episode
+    /// solvers' counters summed under [`SolverReuse::Fresh`]. Carries the
     /// incremental-session counters (`solve_calls`, `assumption_conflicts`,
     /// `learned_retained`) the per-depth deltas cannot express.
     pub solver_stats: SolverStats,
@@ -253,11 +335,68 @@ impl BmcRun {
             .map(|d| d.depth)
             .max()
     }
+
+    /// The report of a property, by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyReport> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// Number of falsified properties.
+    pub fn num_falsified(&self) -> usize {
+        self.properties
+            .iter()
+            .filter(|p| matches!(p.verdict, PropertyVerdict::Falsified { .. }))
+            .count()
+    }
 }
 
-/// The `refine_order_bmc` engine (Fig. 5).
+/// Per-property live state during a run.
+struct PropState {
+    name: String,
+    bad: Signal,
+    open: bool,
+    episodes: u64,
+    assumption_conflicts: u64,
+    decisions: u64,
+    conflicts: u64,
+    propagations: u64,
+    completed: Option<usize>,
+    falsified: Option<(usize, Trace)>,
+    depth_results: Vec<SolveResult>,
+}
+
+impl PropState {
+    fn into_report(self) -> PropertyReport {
+        let verdict = match (self.falsified, self.completed) {
+            (Some((depth, trace)), _) => PropertyVerdict::Falsified { depth, trace },
+            (None, Some(depth)) => PropertyVerdict::OpenAt { depth },
+            (None, None) => PropertyVerdict::Unknown,
+        };
+        let retirement_depth = match &verdict {
+            PropertyVerdict::Falsified { depth, .. } => Some(*depth),
+            _ => None,
+        };
+        PropertyReport {
+            name: self.name,
+            verdict,
+            episodes: self.episodes,
+            assumption_conflicts: self.assumption_conflicts,
+            decisions: self.decisions,
+            conflicts: self.conflicts,
+            propagations: self.propagations,
+            retirement_depth,
+            depth_results: self.depth_results,
+        }
+    }
+}
+
+/// The `refine_order_bmc` engine (Fig. 5), generalized to property sets.
 ///
-/// See the [crate docs](crate) for a complete example.
+/// Construct it from a single-property [`Model`] ([`BmcEngine::new`] — the
+/// paper's setup, used by the figure-reproducing binaries) or from a
+/// multi-property [`VerificationProblem`] ([`BmcEngine::for_problem`] — the
+/// AIGER/HWMCC front door). See the [crate docs](crate) for a complete
+/// example.
 pub struct BmcEngine {
     model: Model,
     options: BmcOptions,
@@ -268,7 +407,8 @@ pub struct BmcEngine {
 impl fmt::Debug for BmcEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BmcEngine")
-            .field("model", &self.model.name())
+            .field("problem", &self.model.name())
+            .field("properties", &self.model.problem().num_properties())
             .field("options", &self.options)
             .field("depths_done", &self.per_depth.len())
             .finish()
@@ -276,7 +416,8 @@ impl fmt::Debug for BmcEngine {
 }
 
 impl BmcEngine {
-    /// Creates an engine for `model` with the given options.
+    /// Creates an engine for a single-property `model` with the given
+    /// options.
     pub fn new(model: Model, options: BmcOptions) -> BmcEngine {
         BmcEngine {
             model,
@@ -286,9 +427,22 @@ impl BmcEngine {
         }
     }
 
-    /// The model under check.
+    /// Creates an engine checking every property of `problem` in one run
+    /// (one persistent session solver, one shared unrolling, per-property
+    /// activation literals).
+    pub fn for_problem(problem: VerificationProblem, options: BmcOptions) -> BmcEngine {
+        BmcEngine::new(Model::from_problem(problem), options)
+    }
+
+    /// The model under check (the single-property view of the problem; its
+    /// `bad()` is the primary property).
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// The full problem under check.
+    pub fn problem(&self) -> &VerificationProblem {
+        self.model.problem()
     }
 
     /// The accumulated `varRank` (inspect after a run).
@@ -296,118 +450,209 @@ impl BmcEngine {
         &self.rank
     }
 
-    /// Runs the loop of Fig. 5 and returns only the outcome.
+    /// Runs the loop of Fig. 5 and returns only the summary outcome.
     pub fn run(&mut self) -> BmcOutcome {
         self.run_collecting().outcome
     }
 
-    /// Runs the loop of Fig. 5, collecting per-depth statistics.
+    /// Runs the loop of Fig. 5 over every property, collecting per-depth and
+    /// per-property statistics.
     pub fn run_collecting(&mut self) -> BmcRun {
         let run_start = Instant::now();
         let unroller = Unroller::new(&self.model);
+        let mut props: Vec<PropState> = self
+            .model
+            .problem()
+            .properties()
+            .iter()
+            .map(|p| PropState {
+                name: p.name().to_string(),
+                bad: p.bad(),
+                open: true,
+                episodes: 0,
+                assumption_conflicts: 0,
+                decisions: 0,
+                conflicts: 0,
+                propagations: 0,
+                completed: None,
+                falsified: None,
+                depth_results: Vec::new(),
+            })
+            .collect();
+        let num_props = props.len();
         // The persistent solver of a session run (frames appended per depth).
         let mut session: Option<Solver> = match self.options.reuse {
             SolverReuse::Session => Some(Solver::with_options(self.solver_options())),
             SolverReuse::Fresh => None,
         };
         let mut aggregate = SolverStats::new();
-        let mut outcome = BmcOutcome::BoundReached { depth_completed: 0 };
-        for k in 0..=self.options.max_depth {
+        let mut first_falsified: Option<usize> = None;
+        let mut resource_out: Option<usize> = None;
+        let mut depth_completed = 0usize;
+        'depths: for k in 0..=self.options.max_depth {
             let depth_start = Instant::now();
             let limits = self.depth_limits();
             // gen_cnf_formula(M, P, k): the unroller only ever encodes the
-            // one new frame; session solvers consume exactly that delta,
-            // fresh solvers replay the cached prefix. sat_check(F, varRank)
-            // is one solve episode either way.
-            let mut fresh: Option<Solver> = None;
-            let (solver, result, base) = match session.as_mut() {
-                Some(solver) => {
-                    let base = solver.stats().clone();
-                    unroller.with_frame_delta(k, |clauses| {
-                        for clause in clauses {
-                            solver.add_clause(clause.lits());
-                        }
-                    });
-                    // a_k → bad_k; a_k is assumed for this depth only.
-                    let act = Self::activation_lit(&unroller, self.options.max_depth, k);
-                    solver.add_clause(&[!act, unroller.bad_lit(k)]);
-                    self.install_ranking(solver, &unroller, k);
-                    let result = solver.solve_under_limited(&[act], &limits);
-                    (&mut *solver, result, base)
-                }
-                None => {
-                    let solver = fresh.insert(self.fresh_solver(&unroller, k));
-                    let result = solver.solve_limited(&limits);
-                    (&mut *solver, result, SolverStats::new())
-                }
-            };
-            let stats = solver.stats();
-            // The paper's unsatVars, filtered to the frame-stable model
-            // variables (a session core may also cite activation literals).
-            let core_vars = match result {
-                SolveResult::Unsat => self.core_model_vars(solver, &unroller, k),
-                _ => Vec::new(),
-            };
-            self.per_depth.push(DepthStats {
+            // one new frame; the session solver consumes exactly that delta
+            // once per depth, fresh solvers replay the cached prefix per
+            // episode. sat_check(F, varRank) is one solve episode per open
+            // property.
+            if let Some(solver) = session.as_mut() {
+                unroller.with_frame_delta(k, |clauses| {
+                    for clause in clauses {
+                        solver.add_clause(clause.lits());
+                    }
+                });
+            }
+            let mut depth = DepthStats {
                 depth: k,
-                result,
-                decisions: stats.decisions - base.decisions,
-                implications: stats.propagations - base.propagations,
-                conflicts: stats.conflicts - base.conflicts,
+                result: SolveResult::Unsat,
+                decisions: 0,
+                implications: 0,
+                conflicts: 0,
                 num_vars: unroller.num_vars_at(k),
-                num_clauses: solver.num_original_clauses(),
-                core_vars: core_vars.len(),
-                switched_to_vsids: stats.switched_to_vsids,
-                cdg_nodes: stats.cdg_nodes - base.cdg_nodes,
-                cdg_edges: stats.cdg_edges - base.cdg_edges,
-                time: depth_start.elapsed(),
-            });
-            match result {
-                SolveResult::Sat => {
-                    let assignment = solver.model().expect("model after SAT");
-                    let trace = Trace::from_assignment(&unroller, assignment, k);
-                    debug_assert!(
-                        trace.validate(&self.model).is_ok(),
-                        "solver returned an invalid counterexample"
-                    );
-                    if let Some(f) = fresh.as_ref() {
-                        aggregate.accumulate(f.stats());
+                num_clauses: 0,
+                core_vars: 0,
+                switched_to_vsids: false,
+                cdg_nodes: 0,
+                cdg_edges: 0,
+                time: Duration::ZERO,
+            };
+            // The paper's unsatVars: union of the open properties' cores at
+            // this depth, deduplicated before the ranking update.
+            let mut core_union: Vec<rbmc_cnf::Var> = Vec::new();
+            let mut ranking_installed = false;
+            // Indexing instead of iterating: the episode needs simultaneous
+            // `&mut props[p_idx]` mutation and whole-`props` reads while the
+            // session solver stays mutably borrowed.
+            #[allow(clippy::needless_range_loop)]
+            for p_idx in 0..num_props {
+                if !props[p_idx].open {
+                    continue;
+                }
+                let bad = props[p_idx].bad;
+                let mut fresh: Option<Solver> = None;
+                let (solver, result, base) = match session.as_mut() {
+                    Some(solver) => {
+                        let base = solver.stats().clone();
+                        // a_{p,k} → bad_p^k; a_{p,k} is assumed for this
+                        // episode only.
+                        let act =
+                            Self::activation_lit(&unroller, &self.options, num_props, k, p_idx);
+                        solver.add_clause(&[!act, unroller.lit_of(bad, k)]);
+                        if !ranking_installed {
+                            self.install_ranking(solver, &unroller, k);
+                            ranking_installed = true;
+                        }
+                        let result = solver.solve_under_limited(&[act], &limits);
+                        (&mut *solver, result, base)
                     }
-                    outcome = BmcOutcome::Counterexample { depth: k, trace };
+                    None => {
+                        let solver = fresh.insert(self.fresh_solver(&unroller, k, bad));
+                        let result = solver.solve_limited(&limits);
+                        (&mut *solver, result, SolverStats::new())
+                    }
+                };
+                let stats = solver.stats();
+                let prop = &mut props[p_idx];
+                prop.episodes += 1;
+                prop.decisions += stats.decisions - base.decisions;
+                prop.conflicts += stats.conflicts - base.conflicts;
+                prop.propagations += stats.propagations - base.propagations;
+                prop.depth_results.push(result);
+                depth.decisions += stats.decisions - base.decisions;
+                depth.implications += stats.propagations - base.propagations;
+                depth.conflicts += stats.conflicts - base.conflicts;
+                depth.cdg_nodes += stats.cdg_nodes - base.cdg_nodes;
+                depth.cdg_edges += stats.cdg_edges - base.cdg_edges;
+                depth.num_clauses = solver.num_original_clauses();
+                depth.switched_to_vsids |= stats.switched_to_vsids;
+                match result {
+                    SolveResult::Sat => {
+                        depth.result = SolveResult::Sat;
+                        let assignment = solver.model().expect("model after SAT");
+                        let trace = Trace::from_assignment(&unroller, assignment, k);
+                        debug_assert!(
+                            trace.validate_against(self.model.netlist(), bad).is_ok(),
+                            "solver returned an invalid counterexample for `{}`",
+                            props[p_idx].name
+                        );
+                        props[p_idx].falsified = Some((k, trace));
+                        props[p_idx].open = false;
+                        first_falsified = first_falsified.or(Some(p_idx));
+                        if let Some(solver) = session.as_mut() {
+                            // Retire the activation literal: the property
+                            // leaves the sweep, so its bad-state clause must
+                            // never constrain later episodes.
+                            let act =
+                                Self::activation_lit(&unroller, &self.options, num_props, k, p_idx);
+                            solver.add_clause(&[!act]);
+                        }
+                    }
+                    SolveResult::Unsat => {
+                        // This property's share of the paper's unsatVars,
+                        // filtered to the frame-stable model variables (a
+                        // session core may also cite activation literals).
+                        core_union.extend(self.core_model_vars(solver, &unroller, k));
+                        props[p_idx].completed = Some(k);
+                        if let Some(solver) = session.as_mut() {
+                            // Retire this depth's activation literal for
+                            // good: the a_{p,k} → bad_p^k clause is satisfied
+                            // forever, and clause-database reduction reclaims
+                            // everything learned against a_{p,k}.
+                            let act =
+                                Self::activation_lit(&unroller, &self.options, num_props, k, p_idx);
+                            solver.add_clause(&[!act]);
+                            props[p_idx].assumption_conflicts += 1;
+                        }
+                    }
+                    SolveResult::Unknown => {
+                        depth.result = SolveResult::Unknown;
+                        resource_out = Some(k);
+                    }
+                }
+                if let Some(f) = fresh.as_ref() {
+                    aggregate.accumulate(f.stats());
+                }
+                if resource_out.is_some() {
                     break;
                 }
-                SolveResult::Unsat => {
-                    // update_ranking(unsatVars, varRank)
-                    if self.options.strategy.needs_cores() && !core_vars.is_empty() {
-                        self.rank.update(&core_vars, k);
-                    }
-                    if let Some(solver) = session.as_mut() {
-                        // Retire this depth's activation literal for good:
-                        // the a_k → bad_k clause is satisfied forever, and
-                        // clause-database reduction reclaims everything
-                        // learned against a_k.
-                        let act = Self::activation_lit(&unroller, self.options.max_depth, k);
-                        solver.add_clause(&[!act]);
-                    }
-                    if let Some(f) = fresh.as_ref() {
-                        aggregate.accumulate(f.stats());
-                    }
-                    outcome = BmcOutcome::BoundReached { depth_completed: k };
-                }
-                SolveResult::Unknown => {
-                    if let Some(f) = fresh.as_ref() {
-                        aggregate.accumulate(f.stats());
-                    }
-                    outcome = BmcOutcome::ResourceOut { at_depth: k };
-                    break;
-                }
+            }
+            // update_ranking(unsatVars, varRank) — the union over this
+            // depth's UNSAT episodes.
+            core_union.sort_unstable();
+            core_union.dedup();
+            depth.core_vars = core_union.len();
+            if self.options.strategy.needs_cores() && !core_union.is_empty() {
+                self.rank.update(&core_union, k);
+            }
+            depth.time = depth_start.elapsed();
+            self.per_depth.push(depth);
+            if resource_out.is_some() {
+                break 'depths;
+            }
+            depth_completed = k;
+            if props.iter().all(|p| !p.open) {
+                break 'depths;
             }
         }
         if let Some(solver) = session.as_ref() {
             aggregate = solver.stats().clone();
         }
+        let outcome = match (resource_out, first_falsified) {
+            // A definite counterexample outranks a later budget exhaustion:
+            // the summary keeps its documented meaning (some property fails),
+            // and the per-property reports still record who ran out.
+            (_, Some(p_idx)) => {
+                let (depth, trace) = props[p_idx].falsified.clone().expect("falsified recorded");
+                BmcOutcome::Counterexample { depth, trace }
+            }
+            (Some(at_depth), None) => BmcOutcome::ResourceOut { at_depth },
+            (None, None) => BmcOutcome::BoundReached { depth_completed },
+        };
         BmcRun {
             outcome,
+            properties: props.into_iter().map(PropState::into_report).collect(),
             per_depth: std::mem::take(&mut self.per_depth),
             solver_stats: aggregate,
             total_time: run_start.elapsed(),
@@ -428,15 +673,23 @@ impl BmcEngine {
         opts
     }
 
-    /// The depth-`k` activation literal of a session run. Activation
-    /// variables live **above** the whole unrolling's variable range
-    /// (`num_vars_at(max_depth)`), so they can never collide with the
-    /// frame-stable model variables of any depth the run will reach.
-    fn activation_lit(unroller: &Unroller<'_>, max_depth: usize, k: usize) -> Lit {
-        rbmc_cnf::Var::new(unroller.num_vars_at(max_depth) + k).positive()
+    /// The activation literal of property `p_idx` at depth `k` in a session
+    /// run. Activation variables live **above** the whole unrolling's
+    /// variable range (`num_vars_at(max_depth)`), so they can never collide
+    /// with the frame-stable model variables of any depth the run will
+    /// reach; each depth owns one consecutive block of `num_props` of them.
+    fn activation_lit(
+        unroller: &Unroller<'_>,
+        options: &BmcOptions,
+        num_props: usize,
+        k: usize,
+        p_idx: usize,
+    ) -> Lit {
+        rbmc_cnf::Var::new(unroller.num_vars_at(options.max_depth) + k * num_props + p_idx)
+            .positive()
     }
 
-    /// Installs the strategy's ranking for the depth-`k` episode (the
+    /// Installs the strategy's ranking for the depth-`k` episodes (the
     /// paper's per-depth `varRank` refresh; re-seedable on a live solver).
     fn install_ranking(&self, solver: &mut Solver, unroller: &Unroller<'_>, k: usize) {
         match self.options.strategy {
@@ -450,9 +703,10 @@ impl BmcEngine {
 
     /// Builds the paper's per-depth solver (the [`SolverReuse::Fresh`]
     /// differential path): loads `F_k` from the unroller's cached clause
-    /// prefix plus the depth-`k` bad-state unit — no activation literals, no
-    /// assumptions — then installs the strategy's ranking.
-    fn fresh_solver(&self, unroller: &Unroller<'_>, k: usize) -> Solver {
+    /// prefix plus the depth-`k` bad-state unit of one property — no
+    /// activation literals, no assumptions — then installs the strategy's
+    /// ranking.
+    fn fresh_solver(&self, unroller: &Unroller<'_>, k: usize, bad: Signal) -> Solver {
         let mut solver = Solver::with_options(self.solver_options());
         solver.reserve_vars(unroller.num_vars_at(k));
         unroller.with_prefix(k, |clauses| {
@@ -460,7 +714,7 @@ impl BmcEngine {
                 solver.add_clause(clause.lits());
             }
         });
-        solver.add_clause(&[unroller.bad_lit(k)]);
+        solver.add_clause(&[unroller.lit_of(bad, k)]);
         self.install_ranking(&mut solver, unroller, k);
         solver
     }
@@ -500,6 +754,7 @@ impl BmcEngine {
 mod tests {
     use super::*;
     use crate::oracle::{check_reachable, OracleVerdict};
+    use crate::ProblemBuilder;
     use rbmc_circuit::{LatchInit, Netlist, Signal};
 
     fn counter_model(width: usize, target: u64) -> Model {
@@ -513,6 +768,28 @@ mod tests {
         }
         let bad = n.bus_eq_const(&bits, target);
         Model::new("counter", n, bad)
+    }
+
+    /// Counter with one property per target: `reach_t` is falsified exactly
+    /// at depth `t` (for a `width`-bit counter starting at zero).
+    fn counter_problem(width: usize, targets: &[u64]) -> VerificationProblem {
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..width)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let next = n.bus_increment(&bits);
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let props: Vec<(String, Signal)> = targets
+            .iter()
+            .map(|&t| (format!("reach_{t}"), n.bus_eq_const(&bits, t)))
+            .collect();
+        let mut builder = ProblemBuilder::new("multi_counter", n);
+        for (name, sig) in props {
+            builder = builder.property(&name, sig);
+        }
+        builder.build()
     }
 
     fn all_strategies() -> Vec<OrderingStrategy> {
@@ -644,7 +921,8 @@ mod tests {
         }
         // Session mode asserts the bad state through an assumed activation
         // literal, so even depth 0 needs one pseudo-decision — which a zero
-        // budget forbids: ResourceOut immediately.
+        // budget forbids: ResourceOut immediately, and the property reports
+        // Unknown (no depth completed).
         let mut engine = BmcEngine::new(
             model,
             BmcOptions {
@@ -655,10 +933,15 @@ mod tests {
                 ..BmcOptions::default()
             },
         );
-        match engine.run() {
-            BmcOutcome::ResourceOut { at_depth } => assert_eq!(at_depth, 0),
+        let run = engine.run_collecting();
+        match &run.outcome {
+            BmcOutcome::ResourceOut { at_depth } => assert_eq!(*at_depth, 0),
             other => panic!("expected resource-out, got {other:?}"),
         }
+        assert!(matches!(
+            run.properties[0].verdict,
+            PropertyVerdict::Unknown
+        ));
     }
 
     #[test]
@@ -714,6 +997,11 @@ mod tests {
         assert_eq!(stats.solve_calls, 12);
         // Every UNSAT depth ended as a failed-assumption conflict.
         assert_eq!(stats.assumption_conflicts, 11);
+        // The per-property report carries the same counters.
+        assert_eq!(run.properties.len(), 1);
+        assert_eq!(run.properties[0].episodes, 12);
+        assert_eq!(run.properties[0].assumption_conflicts, 11);
+        assert_eq!(run.properties[0].retirement_depth, Some(11));
         // Fresh mode never reports incremental counters.
         let mut engine = BmcEngine::new(
             counter_model(4, 11),
@@ -729,6 +1017,108 @@ mod tests {
         assert_eq!(run.solver_stats.learned_retained, 0);
         // Each fresh solver counts its single episode.
         assert_eq!(run.solver_stats.solve_calls, 12);
+        assert_eq!(run.properties[0].assumption_conflicts, 0);
+    }
+
+    #[test]
+    fn multi_property_session_retires_individually() {
+        // Three targets: falsified at depths 3 and 9; 4-bit counter wraps at
+        // 16, so with max_depth 12 target 14 stays open.
+        let problem = counter_problem(4, &[3, 14, 9]);
+        for strategy in all_strategies() {
+            let mut engine = BmcEngine::for_problem(
+                counter_problem(4, &[3, 14, 9]),
+                BmcOptions {
+                    max_depth: 12,
+                    strategy,
+                    ..BmcOptions::default()
+                },
+            );
+            let run = engine.run_collecting();
+            assert_eq!(run.properties.len(), 3, "{strategy:?}");
+            match &run.property("reach_3").unwrap().verdict {
+                PropertyVerdict::Falsified { depth, trace } => {
+                    assert_eq!(*depth, 3, "{strategy:?}");
+                    assert!(trace
+                        .validate_against(problem.netlist(), problem.property(0).bad())
+                        .is_ok());
+                }
+                other => panic!("{strategy:?}: reach_3 expected falsified, got {other}"),
+            }
+            match &run.property("reach_9").unwrap().verdict {
+                PropertyVerdict::Falsified { depth, .. } => assert_eq!(*depth, 9),
+                other => panic!("{strategy:?}: reach_9 expected falsified, got {other}"),
+            }
+            match &run.property("reach_14").unwrap().verdict {
+                PropertyVerdict::OpenAt { depth } => assert_eq!(*depth, 12),
+                other => panic!("{strategy:?}: reach_14 expected open, got {other}"),
+            }
+            // Summary outcome is the shallowest counterexample.
+            assert!(
+                matches!(run.outcome, BmcOutcome::Counterexample { depth: 3, .. }),
+                "{strategy:?}"
+            );
+            assert_eq!(run.num_falsified(), 2);
+            // Retired properties stop consuming episodes: reach_3 ran
+            // depths 0..=3 only.
+            assert_eq!(run.property("reach_3").unwrap().episodes, 4);
+            assert_eq!(run.property("reach_14").unwrap().episodes, 13);
+        }
+    }
+
+    #[test]
+    fn multi_property_session_matches_fresh_single_property_runs() {
+        // The acceptance gate: per-depth verdicts of one multi-property
+        // session run equal those of per-property fresh-per-depth runs.
+        let targets: &[u64] = &[5, 11, 13];
+        for strategy in all_strategies() {
+            let mut engine = BmcEngine::for_problem(
+                counter_problem(4, targets),
+                BmcOptions {
+                    max_depth: 12,
+                    strategy,
+                    ..BmcOptions::default()
+                },
+            );
+            let session_run = engine.run_collecting();
+            for (i, &t) in targets.iter().enumerate() {
+                let mut fresh_engine = BmcEngine::new(
+                    counter_model(4, t),
+                    BmcOptions {
+                        max_depth: 12,
+                        strategy,
+                        reuse: SolverReuse::Fresh,
+                        ..BmcOptions::default()
+                    },
+                );
+                let fresh_run = fresh_engine.run_collecting();
+                let fresh_verdicts: Vec<SolveResult> =
+                    fresh_run.per_depth.iter().map(|d| d.result).collect();
+                assert_eq!(
+                    session_run.properties[i].depth_results, fresh_verdicts,
+                    "{strategy:?} target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_properties_falsified_ends_run_early() {
+        let mut engine = BmcEngine::for_problem(
+            counter_problem(4, &[2, 4]),
+            BmcOptions {
+                max_depth: 15,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        // The sweep stops at depth 4 (last property retired), not 15.
+        assert_eq!(run.per_depth.len(), 5);
+        assert_eq!(run.num_falsified(), 2);
+        assert!(matches!(
+            run.outcome,
+            BmcOutcome::Counterexample { depth: 2, .. }
+        ));
     }
 
     #[test]
@@ -737,5 +1127,8 @@ mod tests {
         let mut engine = BmcEngine::new(model, BmcOptions::default());
         let outcome = engine.run();
         assert!(outcome.to_string().contains("depth 5"));
+        assert!(PropertyVerdict::OpenAt { depth: 7 }
+            .to_string()
+            .contains("open at depth 7"));
     }
 }

@@ -18,7 +18,14 @@
 //!
 //! This crate provides:
 //!
-//! - [`Model`]: a sequential netlist plus a bad-state predicate (`¬P`).
+//! - [`VerificationProblem`] / [`ProblemBuilder`]: a sequential netlist plus
+//!   a *set* of named bad-state properties, built from a netlist, an AIG, an
+//!   AIGER file (`VerificationProblem::from_aiger`, both encodings), or a
+//!   [`Model`]. All properties share one unrolled transition relation and
+//!   one solving session.
+//! - [`Model`]: the thin single-property view (netlist + one bad-state
+//!   predicate `¬P`) the paper's per-run setup and the figure-reproducing
+//!   binaries use.
 //! - [`Unroller`]: Tseitin encoding of Eq. 1 with **frame-stable variable
 //!   numbering**, so variable identities (and hence `varRank`) transfer
 //!   between instances.
@@ -27,7 +34,10 @@
 //! - [`BmcEngine`]: the `refine_order_bmc` loop of Fig. 5 with the
 //!   [`OrderingStrategy`] variants of §3.3 (standard VSIDS, refined static,
 //!   refined dynamic, and Shtrichman's time-axis ordering as the related-work
-//!   baseline).
+//!   baseline), generalized to property sets: every still-open property is
+//!   solved per depth under its own activation literal, retires individually
+//!   with a validated witness ([`PropertyVerdict`]), and `varRank` refreshes
+//!   from the union of the open properties' cores.
 //! - [`Trace`]: counterexample extraction and replay validation on the
 //!   circuit simulator.
 //! - [`oracle`]: an explicit-state BFS reachability checker used as ground
@@ -73,17 +83,20 @@ pub mod vcd;
 
 mod engine;
 mod model;
+mod problem;
 mod ranking;
 mod shtrichman;
 mod trace;
 mod unroll;
 
 pub use engine::{
-    BmcEngine, BmcOptions, BmcOutcome, BmcRun, DepthStats, OrderingStrategy, SolverReuse,
+    BmcEngine, BmcOptions, BmcOutcome, BmcRun, DepthStats, OrderingStrategy, PropertyReport,
+    PropertyVerdict, SolverReuse,
 };
 // Re-exported because it appears throughout the engine's public API
 // (`DepthStats::result`, per-depth verdict comparisons).
 pub use model::Model;
+pub use problem::{FromAigerError, ProblemBuilder, Property, VerificationProblem};
 pub use ranking::{VarRank, Weighting};
 pub use rbmc_solver::SolveResult;
 pub use shtrichman::shtrichman_rank;

@@ -2,13 +2,22 @@
 
 use rbmc_circuit::{Netlist, Signal};
 
-/// A model-checking instance: a sequential netlist and a *bad-state*
-/// predicate (`bad = ¬P` for the invariant `G P`).
+use crate::{FromAigerError, ProblemBuilder, Property, VerificationProblem};
+
+/// A single-property view of a [`VerificationProblem`]: a sequential netlist
+/// and a *bad-state* predicate (`bad = ¬P` for the invariant `G P`).
 ///
 /// The netlist supplies the registers `V` (latches with initial values,
 /// i.e. `I`), the inputs `W`, and the transition relation `T` (the latches'
 /// next-state functions). `bad` is a signal over the current frame; a
 /// counterexample is an initialized path that makes it true.
+///
+/// `Model` is the historical front door of the engine and is kept as the
+/// entry point of the figure-reproducing binaries (the paper checks one
+/// property per run). It is a thin wrapper: constructors build a one-property
+/// [`VerificationProblem`], and the accessors expose that problem's *primary*
+/// (first) property. Multi-property work goes through [`ProblemBuilder`] and
+/// [`BmcEngine::for_problem`](crate::BmcEngine::for_problem) instead.
 ///
 /// # Examples
 ///
@@ -26,9 +35,7 @@ use rbmc_circuit::{Netlist, Signal};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Model {
-    name: String,
-    netlist: Netlist,
-    bad: Signal,
+    problem: VerificationProblem,
 }
 
 impl Model {
@@ -38,20 +45,17 @@ impl Model {
     ///
     /// Panics if the netlist fails [`Netlist::validate`].
     pub fn new(name: &str, netlist: Netlist, bad: Signal) -> Model {
-        netlist
-            .validate()
-            .expect("model netlist must be well-formed");
         Model {
-            name: name.to_string(),
-            netlist,
-            bad,
+            problem: ProblemBuilder::new(name, netlist)
+                .property("bad", bad)
+                .build(),
         }
     }
 
     /// Creates a model whose bad signal is a named output of the netlist.
     ///
-    /// This is how BLIF/AIGER frontends attach properties: the convention is
-    /// an output that is 1 exactly in the bad states.
+    /// This is how BLIF frontends attach properties: the convention is an
+    /// output that is 1 exactly in the bad states.
     ///
     /// # Panics
     ///
@@ -60,39 +64,82 @@ impl Model {
         let bad = netlist
             .output(output)
             .unwrap_or_else(|| panic!("netlist has no output named `{output}`"));
-        Model::new(name, netlist, bad)
+        Model {
+            problem: ProblemBuilder::new(name, netlist)
+                .property(output, bad)
+                .build(),
+        }
+    }
+
+    /// Parses an AIGER file (either encoding, auto-detected) and takes its
+    /// **first** bad-state line — or, for files without a `B` section, its
+    /// first output — as the property. Multi-property files lose their other
+    /// properties in this view; use [`VerificationProblem::from_aiger`] to
+    /// keep them all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FromAigerError`] if parsing fails or the file declares no
+    /// property at all.
+    pub fn from_aiger(name: &str, bytes: &[u8]) -> Result<Model, FromAigerError> {
+        let problem = VerificationProblem::from_aiger(name, bytes)?;
+        Ok(Model::from_problem(problem))
+    }
+
+    /// Wraps an existing problem in the single-property view. The wrapped
+    /// problem may carry more properties (the engine stores the model it was
+    /// given and this is how [`BmcEngine::for_problem`](crate::BmcEngine::for_problem)
+    /// threads one through); [`Model::bad`] then exposes the primary one.
+    pub fn from_problem(problem: VerificationProblem) -> Model {
+        Model { problem }
+    }
+
+    /// The underlying (possibly multi-property) problem.
+    pub fn problem(&self) -> &VerificationProblem {
+        &self.problem
+    }
+
+    /// Unwraps into the underlying problem.
+    pub fn into_problem(self) -> VerificationProblem {
+        self.problem
     }
 
     /// The instance name (used in benchmark tables).
     pub fn name(&self) -> &str {
-        &self.name
+        self.problem.name()
     }
 
     /// The underlying netlist.
     pub fn netlist(&self) -> &Netlist {
-        &self.netlist
+        self.problem.netlist()
     }
 
-    /// The bad-state signal (`¬P`).
+    /// The primary property.
+    pub fn primary(&self) -> &Property {
+        self.problem.primary()
+    }
+
+    /// The bad-state signal (`¬P`) of the primary property.
     pub fn bad(&self) -> Signal {
-        self.bad
+        self.problem.primary().bad()
     }
 
     /// Number of registers (`|V|`).
     pub fn num_registers(&self) -> usize {
-        self.netlist.num_latches()
+        self.netlist().num_latches()
     }
 
     /// Number of primary inputs (`|W|`).
     pub fn num_inputs(&self) -> usize {
-        self.netlist.num_inputs()
+        self.netlist().num_inputs()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rbmc_circuit::LatchInit;
+    use rbmc_circuit::aiger::write_aag;
+    use rbmc_circuit::{Aig, LatchInit};
 
     #[test]
     fn from_output_resolves_bad_signal() {
@@ -102,6 +149,7 @@ mod tests {
         n.add_output("bad", l);
         let m = Model::from_output("m", n, "bad");
         assert_eq!(m.bad(), m.netlist().output("bad").unwrap());
+        assert_eq!(m.primary().name(), "bad");
     }
 
     #[test]
@@ -119,5 +167,18 @@ mod tests {
         let mut n = Netlist::new();
         let _ = n.add_latch("l", LatchInit::Zero); // never connected
         let _ = Model::new("m", n, rbmc_circuit::Signal::FALSE);
+    }
+
+    #[test]
+    fn from_aiger_takes_first_property() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(LatchInit::Zero);
+        aig.set_next(l, !l);
+        aig.add_bad("first", l);
+        aig.add_bad("second", !l);
+        let m = Model::from_aiger("toggle", write_aag(&aig).as_bytes()).unwrap();
+        assert_eq!(m.primary().name(), "first");
+        // The full problem is still reachable behind the view.
+        assert_eq!(m.problem().num_properties(), 2);
     }
 }

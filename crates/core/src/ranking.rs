@@ -64,7 +64,10 @@ impl VarRank {
     }
 
     /// The paper's `update_ranking`: credits every variable of the core of
-    /// the depth-`k` instance.
+    /// the depth-`k` instance. In a multi-property run the engine passes the
+    /// deduplicated **union** of the open properties' cores at that depth,
+    /// so one table serves every property's next episode (each variable is
+    /// credited once per depth regardless of how many cores cite it).
     ///
     /// Depths are 0-based here; the contribution is `k + 1` so the first
     /// instance still counts (the paper writes the sum 1-based).

@@ -107,11 +107,29 @@ impl Trace {
     /// counterexample: consistent with the reset values, and driving the
     /// model into a bad state at the final frame.
     ///
+    /// For a multi-property [`VerificationProblem`](crate::VerificationProblem),
+    /// validate against the falsified property's own signal with
+    /// [`Trace::validate_against`]; this method checks the model's primary
+    /// property.
+    ///
     /// # Errors
     ///
     /// Returns a [`TraceError`] describing the first inconsistency.
     pub fn validate(&self, model: &Model) -> Result<(), TraceError> {
-        let netlist = model.netlist();
+        self.validate_against(model.netlist(), model.bad())
+    }
+
+    /// [`Trace::validate`] against an explicit netlist and bad-state signal
+    /// (one property of a multi-property problem).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first inconsistency.
+    pub fn validate_against(
+        &self,
+        netlist: &rbmc_circuit::Netlist,
+        bad: rbmc_circuit::Signal,
+    ) -> Result<(), TraceError> {
         if self.initial_state.len() != netlist.num_latches() || self.inputs.is_empty() {
             return Err(TraceError::ShapeMismatch);
         }
@@ -139,9 +157,9 @@ impl Trace {
                 return Err(TraceError::ShapeMismatch);
             }
             let values = sim.frame_values(inputs);
-            let bad = read_signal(&values, model.bad());
+            let bad_holds = read_signal(&values, bad);
             if frame == self.depth() {
-                if !bad {
+                if !bad_holds {
                     return Err(TraceError::BadNotReached);
                 }
             } else {

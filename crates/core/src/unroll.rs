@@ -197,7 +197,12 @@ impl<'a> Unroller<'a> {
         consume(cache.formula.clauses_in(start..cache.frame_end[k]))
     }
 
-    /// The unit literal `¬P(V^k)` that turns the frame prefix into `F_k`.
+    /// The unit literal `¬P(V^k)` that turns the frame prefix into `F_k`,
+    /// for the model's **primary** property. The frame prefix itself is
+    /// property-independent — all properties of a
+    /// [`VerificationProblem`](crate::VerificationProblem) share it — so the
+    /// multi-property engine derives each property's literal with
+    /// [`Unroller::lit_of`] on the property's own bad signal instead.
     pub fn bad_lit(&self, k: usize) -> Lit {
         self.lit_of(self.model.bad(), k)
     }

@@ -1,0 +1,196 @@
+//! AIGER corpus export: the synthetic suite as `.aag`/`.aig` files.
+//!
+//! The `rbmc` corpus runner checks directories of AIGER benchmarks
+//! (HWMCC-style). When no real benchmark set is present, this module
+//! exports the gens suite as a self-generated fallback corpus: every
+//! [`BenchInstance`] becomes an ASCII `.aag` file whose single bad-state
+//! (`B`) line is the instance's property, and one hand-built
+//! **multi-property** instance ([`multi_even_counter`]) is written in both
+//! encodings, so a corpus sweep exercises the binary reader and the
+//! per-property session machinery end-to-end.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rbmc_circuit::aiger::{write_aag, write_aig};
+use rbmc_circuit::{Aig, Signal};
+use rbmc_core::{ProblemBuilder, VerificationProblem};
+
+use crate::{BenchInstance, Expectation};
+
+/// Lowers a problem to an AIG, attaching every property as a bad-state
+/// declaration (so the AIGER file round-trips into the same property set).
+pub fn problem_to_aig(problem: &VerificationProblem) -> Aig {
+    let lowered = Aig::from_netlist(problem.netlist());
+    let mut aig = lowered.aig;
+    let read = |s: Signal| {
+        let lit = lowered.map[s.node().index()];
+        if s.is_inverted() {
+            !lit
+        } else {
+            lit
+        }
+    };
+    for prop in problem.properties() {
+        aig.add_bad(prop.name(), read(prop.bad()));
+    }
+    aig
+}
+
+/// The corpus's multi-property instance: a 4-bit enable-gated counter that
+/// steps by 2, with one falsifiable property (`reach6`, counterexample of
+/// length 3) and one property that holds at every depth (`reach7`, the
+/// counter only ever holds even values).
+pub fn multi_even_counter() -> VerificationProblem {
+    let mut n = rbmc_circuit::Netlist::new();
+    let en = n.add_input("en");
+    let bits: Vec<Signal> = (0..4)
+        .map(|i| n.add_latch(&format!("b{i}"), rbmc_circuit::LatchInit::Zero))
+        .collect();
+    let plus_one = n.bus_increment(&bits);
+    let plus_two = n.bus_increment(&plus_one);
+    let nexts: Vec<Signal> = bits
+        .iter()
+        .zip(&plus_two)
+        .map(|(&b, &nx)| n.mux(en, nx, b))
+        .collect();
+    for (&b, &nx) in bits.iter().zip(&nexts) {
+        n.set_next(b, nx);
+    }
+    let reach6 = n.bus_eq_const(&bits, 6);
+    let reach7 = n.bus_eq_const(&bits, 7);
+    ProblemBuilder::new("multi_even_counter", n)
+        .property("reach6", reach6)
+        .property("reach7", reach7)
+        .build()
+}
+
+/// One exported corpus file.
+#[derive(Debug, Clone)]
+pub struct CorpusFile {
+    /// Where the file was written.
+    pub path: PathBuf,
+    /// Number of properties in the file.
+    pub num_properties: usize,
+}
+
+/// Exports `instances` (plus the [`multi_even_counter`] twin files) as an
+/// AIGER corpus under `dir`, creating it if needed. Each instance becomes
+/// `<name>.aag`; the multi-property instance is written as both
+/// `zz_multi_even_counter.aag` and `.aig` so directory sweeps cover both
+/// encodings. Ground truth rides along as an AIGER comment section (the
+/// parser ignores it; humans and debugging sessions appreciate it).
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered.
+pub fn export_corpus(dir: &Path, instances: &[BenchInstance]) -> io::Result<Vec<CorpusFile>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for instance in instances {
+        let problem = ProblemBuilder::from_model(&instance.model).build();
+        let mut text = write_aag(&problem_to_aig(&problem));
+        let expect = match instance.expectation {
+            Expectation::FailsAt(d) => format!("fails_at {d}"),
+            Expectation::Holds => "holds".to_string(),
+        };
+        text.push_str(&format!(
+            "c\nexpect: {expect}\nmax_depth: {}\n",
+            instance.max_depth
+        ));
+        let path = dir.join(format!("{}.aag", instance.name));
+        std::fs::write(&path, text)?;
+        written.push(CorpusFile {
+            path,
+            num_properties: 1,
+        });
+    }
+    let multi = multi_even_counter();
+    let aig = problem_to_aig(&multi);
+    let aag_path = dir.join("zz_multi_even_counter.aag");
+    std::fs::write(&aag_path, write_aag(&aig))?;
+    written.push(CorpusFile {
+        path: aag_path,
+        num_properties: multi.num_properties(),
+    });
+    let aig_path = dir.join("zz_multi_even_counter.aig");
+    std::fs::write(&aig_path, write_aig(&aig))?;
+    written.push(CorpusFile {
+        path: aig_path,
+        num_properties: multi.num_properties(),
+    });
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbmc_core::{BmcEngine, BmcOptions, PropertyVerdict};
+
+    #[test]
+    fn multi_even_counter_ground_truth() {
+        let problem = multi_even_counter();
+        assert_eq!(problem.num_properties(), 2);
+        let mut engine = BmcEngine::for_problem(
+            problem,
+            BmcOptions {
+                max_depth: 8,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        match &run.property("reach6").unwrap().verdict {
+            PropertyVerdict::Falsified { depth, .. } => assert_eq!(*depth, 3),
+            other => panic!("reach6: expected falsified, got {other}"),
+        }
+        match &run.property("reach7").unwrap().verdict {
+            PropertyVerdict::OpenAt { depth } => assert_eq!(*depth, 8),
+            other => panic!("reach7: expected open, got {other}"),
+        }
+    }
+
+    #[test]
+    fn problem_roundtrips_through_aiger() {
+        // Lower, serialize, re-ingest in both encodings: the property set
+        // and the verdicts survive.
+        let problem = multi_even_counter();
+        let aig = problem_to_aig(&problem);
+        for bytes in [write_aag(&aig).into_bytes(), write_aig(&aig)] {
+            let back = VerificationProblem::from_aiger("back", &bytes).unwrap();
+            assert_eq!(back.num_properties(), 2);
+            assert_eq!(back.property(0).name(), "reach6");
+            let mut engine = BmcEngine::for_problem(
+                back,
+                BmcOptions {
+                    max_depth: 6,
+                    ..BmcOptions::default()
+                },
+            );
+            let run = engine.run_collecting();
+            assert!(matches!(
+                run.property("reach6").unwrap().verdict,
+                PropertyVerdict::Falsified { depth: 3, .. }
+            ));
+            assert!(matches!(
+                run.property("reach7").unwrap().verdict,
+                PropertyVerdict::OpenAt { depth: 6 }
+            ));
+        }
+    }
+
+    #[test]
+    fn export_writes_suite_and_twins() {
+        let dir = std::env::temp_dir().join(format!("rbmc_corpus_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = export_corpus(&dir, &crate::small_suite()).unwrap();
+        // Suite files plus the two multi-property twins.
+        assert_eq!(written.len(), crate::small_suite().len() + 2);
+        for f in &written {
+            assert!(f.path.exists(), "{} missing", f.path.display());
+            let bytes = std::fs::read(&f.path).unwrap();
+            let problem = VerificationProblem::from_aiger("roundtrip", &bytes).unwrap();
+            assert_eq!(problem.num_properties(), f.num_properties);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

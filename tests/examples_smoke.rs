@@ -102,3 +102,18 @@ fn induction_prove_proves_the_guarded_fifo() {
     let out = run_example("induction_prove");
     assert!(out.contains("PROVED"), "unexpected output:\n{out}");
 }
+
+#[test]
+fn aiger_multi_prop_checks_both_properties_in_one_session() {
+    let out = run_example("aiger_multi_prop");
+    assert!(out.contains("2 properties"), "unexpected output:\n{out}");
+    assert!(
+        out.contains("falsified at depth 3") && out.contains("witness validates: true"),
+        "unexpected output:\n{out}"
+    );
+    assert!(
+        out.contains("open at depth 12"),
+        "unexpected output:\n{out}"
+    );
+    assert!(out.contains("1 falsified / 2"), "unexpected output:\n{out}");
+}
