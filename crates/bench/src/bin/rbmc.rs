@@ -15,24 +15,43 @@
 //!
 //! ```text
 //! rbmc [DIR] [--export-corpus DIR] [--depth N] [--reuse fresh|session]
-//!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--selfcheck] [--smoke]
+//!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--jobs N]
+//!      [--shard by-property|by-depth] [--selfcheck] [--smoke]
 //!      [--witness-dir DIR] [--json-out PATH | --no-json]
 //! ```
 //!
 //! - `--export-corpus DIR` first writes the gens suite as a fallback corpus
 //!   (`rbmc_gens::corpus`) into DIR; when no positional corpus directory is
 //!   given, the exported directory is then swept.
-//! - `--selfcheck` additionally re-checks every property with
-//!   fresh-per-depth single-property runs ([`SolverReuse::Fresh`]) and
-//!   fails if any per-depth verdict differs from the session run — the
-//!   multi-property differential gate, run per file.
+//! - `--jobs N` parallelizes the sweep. The worker budget is *split*, not
+//!   multiplied: benchmark files are striped across up to `N` workers
+//!   first, and any remaining per-worker budget (`N / file-workers`) runs
+//!   each file's engine with [`ParallelConfig`] — so a single-file corpus
+//!   gets full engine-level parallelism while a many-file sweep never
+//!   spawns more than ~`N` solver threads. An explicit `--shard` flips the
+//!   split: the whole budget goes to each file's engine (even with
+//!   `--jobs 1`, which runs the parallel decomposition on one worker) and
+//!   the file sweep itself runs sequentially — by-property pairs with the
+//!   session regime, by-depth with fresh; the default follows `--reuse`.
+//!   Verdicts, witnesses, and rank tables are independent of `N`; the
+//!   per-file output is buffered and printed in file order, so the whole
+//!   report is byte-stable too.
+//! - `--selfcheck` cross-checks every file's verdicts four ways: the main
+//!   run, the *opposite* solver-reuse regime, a property-sharded parallel
+//!   run, and a depth-sharded parallel run must agree on every property's
+//!   per-depth verdict sequence, and every property is additionally
+//!   re-checked with fresh-per-depth single-property runs
+//!   ([`SolverReuse::Fresh`]). Any mismatch fails the run (non-zero exit)
+//!   naming the offending property.
 //! - `--smoke` shrinks the export to the small suite and the default depth
 //!   bound to 10 (CI mode).
 //!
 //! The run is recorded as a machine-readable `BENCH_corpus.json` artifact
 //! with one case per (file, property), carrying the per-property session
-//! counters (episodes, assumption conflicts, retirement depth).
+//! counters (episodes, assumption conflicts, retirement depth) and, for
+//! parallel runs, the per-worker dispatch stats.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -41,8 +60,8 @@ use rbmc_bench::{BenchCase, BenchReport};
 use rbmc_circuit::aiger::parse_aiger;
 use rbmc_circuit::Aig;
 use rbmc_core::{
-    BmcEngine, BmcOptions, OrderingStrategy, ProblemBuilder, PropertyVerdict, SolveResult,
-    SolverReuse, Trace,
+    BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig, ProblemBuilder,
+    PropertyVerdict, ShardMode, SolveResult, SolverReuse, Trace, VerificationProblem,
 };
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -134,18 +153,63 @@ fn replay_on_aig(aig: &Aig, prop_index: usize, trace: &Trace) -> Result<(), Stri
     Err("trace has no frames".into())
 }
 
-/// The per-file check: one session run over all properties, witness gates,
-/// optional fresh-per-depth differential, report cases.
+/// Per-property per-depth verdict sequences of a run — the cross-check
+/// currency of `--selfcheck` (verdicts are semantic, so every regime and
+/// every dispatch mode must produce the same sequences).
+fn verdict_sequences(run: &BmcRun) -> Vec<Vec<SolveResult>> {
+    run.properties
+        .iter()
+        .map(|p| p.depth_results.clone())
+        .collect()
+}
+
+/// Re-runs the whole problem under an alternative configuration and fails
+/// (naming the first offending property) if any per-depth verdict sequence
+/// differs from the main run's.
+fn cross_check(
+    stem: &str,
+    problem: &VerificationProblem,
+    run: &BmcRun,
+    options: &BmcOptions,
+    mode_label: &str,
+) -> Result<(), String> {
+    let mut engine = BmcEngine::for_problem(problem.clone(), *options);
+    let other = engine.run_collecting();
+    let main_verdicts = verdict_sequences(run);
+    let other_verdicts = verdict_sequences(&other);
+    for (idx, (a, b)) in main_verdicts.iter().zip(&other_verdicts).enumerate() {
+        if a != b {
+            return Err(format!(
+                "{stem}::{}: {mode_label} verdicts {b:?} != main run verdicts {a:?}",
+                problem.property(idx).name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A checked file's buffered stdout block, its report cases, and whether
+/// the check succeeded — output and cases survive a failure, so the
+/// diagnostics printed for a failing file are no poorer than an eager
+/// sequential sweep's.
+type FileOutcome = (String, Vec<BenchCase>, Result<(), String>);
+
+/// The per-file check: one run over all properties (sequential or parallel
+/// per `options.parallel`), witness gates, optional differential
+/// cross-checks, report cases. Output is written to `out` so a parallel
+/// sweep can print per-file blocks in deterministic file order; whatever
+/// was produced before an error is kept by the caller.
 #[allow(clippy::too_many_arguments)]
 fn check_file(
     path: &Path,
     options: &BmcOptions,
     selfcheck: bool,
     witness_dir: Option<&Path>,
-    report: &mut BenchReport,
     reuse_label: &str,
     strategy_label: &str,
     quiet_witnesses: bool,
+    out: &mut String,
+    cases: &mut Vec<BenchCase>,
 ) -> Result<(), String> {
     let stem = path
         .file_stem()
@@ -169,7 +233,8 @@ fn check_file(
     let run = engine.run_collecting();
     let wall = wall.elapsed();
 
-    println!(
+    let _ = writeln!(
+        out,
         "{}: {} propert{} to depth {} ({} vars, {} ands)",
         stem,
         problem.num_properties(),
@@ -190,7 +255,11 @@ fn check_file(
             PropertyVerdict::OpenAt { depth } => ("2", format!("open at depth {depth}")),
             PropertyVerdict::Unknown => ("2", "unknown (budget exhausted)".to_string()),
         };
-        println!("  b{idx} {}: {} ({})", prop_report.name, status, detail);
+        let _ = writeln!(
+            out,
+            "  b{idx} {}: {} ({})",
+            prop_report.name, status, detail
+        );
 
         // Witness soundness gate: netlist replay and AIG replay must both
         // accept every counterexample before it is emitted.
@@ -219,7 +288,7 @@ fn check_file(
             let wpath = dir.join(format!("{stem}.b{idx}.wit"));
             std::fs::write(&wpath, &text).map_err(|e| format!("{}: {e}", wpath.display()))?;
         } else if !quiet_witnesses {
-            print!("{text}");
+            let _ = write!(out, "{text}");
         }
 
         let (completed_depth, verdict_ok) = match &prop_report.verdict {
@@ -227,7 +296,44 @@ fn check_file(
             PropertyVerdict::OpenAt { depth } => (*depth, true),
             PropertyVerdict::Unknown => (0, false),
         };
-        report.push(BenchCase {
+        let mut extra = vec![
+            ("properties".into(), run.properties.len() as f64),
+            ("file_wall_s".into(), wall.as_secs_f64()),
+            ("episodes".into(), prop_report.episodes as f64),
+            (
+                "assumption_conflicts".into(),
+                prop_report.assumption_conflicts as f64,
+            ),
+            (
+                "retirement_depth".into(),
+                prop_report.retirement_depth.map_or(-1.0, |d| d as f64),
+            ),
+            ("solve_calls".into(), run.solver_stats.solve_calls as f64),
+            (
+                "learned_retained".into(),
+                run.solver_stats.learned_retained as f64,
+            ),
+        ];
+        if !run.workers.is_empty() {
+            // Per-worker dispatch stats of the engine-level parallel run.
+            extra.push(("par_workers".into(), run.workers.len() as f64));
+            extra.push((
+                "par_items".into(),
+                run.workers.iter().map(|w| w.items).sum::<u64>() as f64,
+            ));
+            extra.push((
+                "par_episodes_max".into(),
+                run.workers.iter().map(|w| w.episodes).max().unwrap_or(0) as f64,
+            ));
+            extra.push((
+                "par_busy_max_s".into(),
+                run.workers
+                    .iter()
+                    .map(|w| w.time.as_secs_f64())
+                    .fold(0.0, f64::max),
+            ));
+        }
+        cases.push(BenchCase {
             name: format!("{stem}::{}", prop_report.name),
             strategy: format!("{strategy_label}/{reuse_label}"),
             // The session run is shared by all of the file's properties, so
@@ -240,30 +346,57 @@ fn check_file(
             propagations: prop_report.propagations,
             completed_depth,
             verdict_ok,
-            extra: vec![
-                ("properties".into(), run.properties.len() as f64),
-                ("file_wall_s".into(), wall.as_secs_f64()),
-                ("episodes".into(), prop_report.episodes as f64),
-                (
-                    "assumption_conflicts".into(),
-                    prop_report.assumption_conflicts as f64,
-                ),
-                (
-                    "retirement_depth".into(),
-                    prop_report.retirement_depth.map_or(-1.0, |d| d as f64),
-                ),
-                ("solve_calls".into(), run.solver_stats.solve_calls as f64),
-                (
-                    "learned_retained".into(),
-                    run.solver_stats.learned_retained as f64,
-                ),
-            ],
+            extra,
         });
     }
 
     if selfcheck {
-        // The differential gate: each property re-checked alone, with a
-        // fresh solver per depth; per-depth verdicts must be identical.
+        // Whole-problem cross-checks: the opposite solver-reuse regime plus
+        // both parallel dispatch modes must reproduce the main run's
+        // per-depth verdicts property for property. The parallel
+        // cross-checks inherit the main run's engine worker budget (results
+        // are jobs-invariant, so 1 worker checks the same decomposition) —
+        // hard-coding a larger count here would quietly break the sweep's
+        // no-more-than-~jobs-threads guarantee inside each file worker.
+        let cross_jobs = options.parallel.map_or(1, |c| c.jobs);
+        let other_reuse = match options.reuse {
+            SolverReuse::Session => SolverReuse::Fresh,
+            SolverReuse::Fresh => SolverReuse::Session,
+        };
+        cross_check(
+            &stem,
+            &problem,
+            &run,
+            &BmcOptions {
+                reuse: other_reuse,
+                parallel: None,
+                ..*options
+            },
+            other_reuse.label(),
+        )?;
+        cross_check(
+            &stem,
+            &problem,
+            &run,
+            &BmcOptions {
+                parallel: Some(ParallelConfig::by_property(cross_jobs)),
+                ..*options
+            },
+            "parallel by-property",
+        )?;
+        cross_check(
+            &stem,
+            &problem,
+            &run,
+            &BmcOptions {
+                parallel: Some(ParallelConfig::by_depth(cross_jobs)),
+                ..*options
+            },
+            "parallel by-depth",
+        )?;
+        // The per-property differential gate: each property re-checked
+        // alone, with a fresh solver per depth; per-depth verdicts must be
+        // identical.
         for (idx, prop_report) in run.properties.iter().enumerate() {
             let single = ProblemBuilder::new(&stem, problem.netlist().clone())
                 .property(&prop_report.name, problem.property(idx).bad())
@@ -272,6 +405,7 @@ fn check_file(
                 single,
                 BmcOptions {
                     reuse: SolverReuse::Fresh,
+                    parallel: None,
                     ..*options
                 },
             );
@@ -285,7 +419,10 @@ fn check_file(
                 ));
             }
         }
-        println!("  selfcheck: per-depth verdicts match fresh-per-depth runs");
+        let _ = writeln!(
+            out,
+            "  selfcheck: verdicts match across fresh/session/parallel runs"
+        );
     }
     Ok(())
 }
@@ -303,6 +440,24 @@ fn main() -> ExitCode {
         .unwrap_or(64);
     let strategy = parse_strategy(&args, divisor);
     let reuse = rbmc_bench::cli_reuse(&args, SolverReuse::Session);
+    let jobs: usize = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    // The engine-level sharding grain mirrors the solver-reuse regime unless
+    // forced: sessions shard by property, the fresh regime by depth.
+    let shard = match flag_value(&args, "--shard") {
+        None => match reuse {
+            SolverReuse::Session => ShardMode::ByProperty,
+            SolverReuse::Fresh => ShardMode::ByDepth,
+        },
+        Some("by-property") => ShardMode::ByProperty,
+        Some("by-depth") => ShardMode::ByDepth,
+        Some(other) => {
+            eprintln!("error: --shard requires by-property|by-depth, got `{other}`");
+            return ExitCode::from(2);
+        }
+    };
     let witness_dir = flag_value(&args, "--witness-dir").map(PathBuf::from);
     if let Some(dir) = &witness_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -347,6 +502,8 @@ fn main() -> ExitCode {
         "--divisor",
         "--strategy",
         "--reuse",
+        "--jobs",
+        "--shard",
         "--witness-dir",
         "--json-out",
         "--export-corpus",
@@ -372,6 +529,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: rbmc [DIR] [--export-corpus DIR] [--depth N] \
              [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
+             [--jobs N] [--shard by-property|by-depth] \
              [--selfcheck] [--smoke] [--witness-dir DIR] [--json-out PATH | --no-json]"
         );
         return ExitCode::from(2);
@@ -401,32 +559,71 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
 
+    // Split the worker budget between the two grains instead of multiplying
+    // them: `jobs` file workers each running a `jobs`-worker engine would
+    // oversubscribe to jobs² threads. By default file striping gets first
+    // claim (it parallelizes everything, single-property files included)
+    // and whatever budget remains per file worker goes to the engine. An
+    // explicit `--shard` flips the split: the user is asking for
+    // engine-grain sharding, so the whole budget goes to each file's engine
+    // (even `jobs = 1` — the parallel decomposition with one worker) and
+    // the file sweep runs sequentially.
+    let shard_forced = flag_value(&args, "--shard").is_some();
+    let file_workers = if shard_forced {
+        1
+    } else {
+        jobs.min(files.len()).max(1)
+    };
+    let engine_jobs = if shard_forced {
+        jobs
+    } else {
+        (jobs / file_workers).max(1)
+    };
     let options = BmcOptions {
         max_depth: depth,
         strategy,
         reuse,
+        parallel: (engine_jobs > 1 || shard_forced).then_some(ParallelConfig {
+            jobs: engine_jobs,
+            shard,
+        }),
         ..BmcOptions::default()
     };
     let mut report = BenchReport::new(format!(
-        "rbmc corpus ({}, depth={depth}, strategy={}, reuse={}{})",
+        "rbmc corpus ({}, depth={depth}, strategy={}, reuse={}, jobs={jobs}/{}{})",
         corpus_dir.display(),
         strategy.label(),
         reuse.label(),
+        shard.label(),
         if selfcheck { ", selfcheck" } else { "" }
     ));
     let start = Instant::now();
     let mut failures = 0usize;
-    for path in &files {
-        if let Err(e) = check_file(
-            path,
+    // The sweep itself is striped across the worker budget too: files are
+    // claimed off a shared queue, and each file's output block is buffered
+    // so stdout comes out in file order no matter who solved what.
+    let outcomes: Vec<FileOutcome> = rbmc_core::striped_map(files.len(), file_workers, |_w, i| {
+        let mut out = String::new();
+        let mut cases = Vec::new();
+        let result = check_file(
+            &files[i],
             &options,
             selfcheck,
             witness_dir.as_deref(),
-            &mut report,
             reuse.label(),
             strategy.label(),
             quiet_witnesses,
-        ) {
+            &mut out,
+            &mut cases,
+        );
+        (out, cases, result)
+    });
+    for (out, cases, result) in outcomes {
+        print!("{out}");
+        for case in cases {
+            report.push(case);
+        }
+        if let Err(e) = result {
             eprintln!("FAIL {e}");
             failures += 1;
         }

@@ -41,6 +41,7 @@ use rbmc_circuit::Signal;
 use rbmc_cnf::Lit;
 use rbmc_solver::{Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
 
+use crate::parallel::{self, ParallelConfig, WorkerReport};
 use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, VerificationProblem, Weighting};
 
 /// Which decision-ordering scheme `sat_check` uses (§3.3 plus baselines).
@@ -136,6 +137,20 @@ pub struct BmcOptions {
     /// overhead measurements of §3.1; off by default to keep the baseline
     /// honest).
     pub force_record_cdg: bool,
+    /// Prune the session solver's conflict dependency graph at each depth
+    /// boundary ([`Solver::prune_cdg`]), bounding the CDG's growth over a
+    /// deep sweep. On by default; the ablation tests turn it off to measure
+    /// the unpruned growth. Fresh-per-depth solvers discard their CDG with
+    /// the solver and never prune.
+    pub cdg_prune: bool,
+    /// Run the sweep on a worker pool instead of inline — see
+    /// [`ParallelConfig`] for the two sharding grains. `None` (the default)
+    /// is the sequential loop. The sharding grain fixes the solver
+    /// provisioning ([`ShardMode::ByProperty`](crate::ShardMode) runs one
+    /// session per property, [`ShardMode::ByDepth`](crate::ShardMode) a
+    /// fresh solver per instance), so [`BmcOptions::reuse`] is not consulted
+    /// by parallel runs.
+    pub parallel: Option<ParallelConfig>,
 }
 
 impl Default for BmcOptions {
@@ -149,6 +164,8 @@ impl Default for BmcOptions {
             max_conflicts_per_depth: None,
             deadline: None,
             force_record_cdg: false,
+            cdg_prune: true,
+            parallel: None,
         }
     }
 }
@@ -305,8 +322,12 @@ pub struct BmcRun {
     /// final counters under [`SolverReuse::Session`], the per-episode
     /// solvers' counters summed under [`SolverReuse::Fresh`]. Carries the
     /// incremental-session counters (`solve_calls`, `assumption_conflicts`,
-    /// `learned_retained`) the per-depth deltas cannot express.
+    /// `learned_retained`) the per-depth deltas cannot express. Parallel
+    /// runs sum the counters of every worker's solvers.
     pub solver_stats: SolverStats,
+    /// Per-worker breakdown of a parallel run ([`BmcOptions::parallel`]), in
+    /// worker order. Empty for sequential runs.
+    pub workers: Vec<WorkerReport>,
     /// Total wall-clock time.
     pub total_time: Duration,
 }
@@ -350,23 +371,39 @@ impl BmcRun {
     }
 }
 
-/// Per-property live state during a run.
-struct PropState {
-    name: String,
-    bad: Signal,
-    open: bool,
-    episodes: u64,
-    assumption_conflicts: u64,
-    decisions: u64,
-    conflicts: u64,
-    propagations: u64,
-    completed: Option<usize>,
-    falsified: Option<(usize, Trace)>,
-    depth_results: Vec<SolveResult>,
+/// Per-property live state during a run (shared with the parallel drivers).
+pub(crate) struct PropState {
+    pub(crate) name: String,
+    pub(crate) bad: Signal,
+    pub(crate) open: bool,
+    pub(crate) episodes: u64,
+    pub(crate) assumption_conflicts: u64,
+    pub(crate) decisions: u64,
+    pub(crate) conflicts: u64,
+    pub(crate) propagations: u64,
+    pub(crate) completed: Option<usize>,
+    pub(crate) falsified: Option<(usize, Trace)>,
+    pub(crate) depth_results: Vec<SolveResult>,
 }
 
 impl PropState {
-    fn into_report(self) -> PropertyReport {
+    pub(crate) fn fresh(name: String, bad: Signal) -> PropState {
+        PropState {
+            name,
+            bad,
+            open: true,
+            episodes: 0,
+            assumption_conflicts: 0,
+            decisions: 0,
+            conflicts: 0,
+            propagations: 0,
+            completed: None,
+            falsified: None,
+            depth_results: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_report(self) -> PropertyReport {
         let verdict = match (self.falsified, self.completed) {
             (Some((depth, trace)), _) => PropertyVerdict::Falsified { depth, trace },
             (None, Some(depth)) => PropertyVerdict::OpenAt { depth },
@@ -456,8 +493,13 @@ impl BmcEngine {
     }
 
     /// Runs the loop of Fig. 5 over every property, collecting per-depth and
-    /// per-property statistics.
+    /// per-property statistics. With [`BmcOptions::parallel`] set, the sweep
+    /// is dispatched onto a scoped worker pool instead (see
+    /// [`ParallelConfig`] for the determinism contract).
     pub fn run_collecting(&mut self) -> BmcRun {
+        if let Some(config) = self.options.parallel {
+            return parallel::run_parallel(self, config);
+        }
         let run_start = Instant::now();
         let unroller = Unroller::new(&self.model);
         let mut props: Vec<PropState> = self
@@ -465,19 +507,7 @@ impl BmcEngine {
             .problem()
             .properties()
             .iter()
-            .map(|p| PropState {
-                name: p.name().to_string(),
-                bad: p.bad(),
-                open: true,
-                episodes: 0,
-                assumption_conflicts: 0,
-                decisions: 0,
-                conflicts: 0,
-                propagations: 0,
-                completed: None,
-                falsified: None,
-                depth_results: Vec::new(),
-            })
+            .map(|p| PropState::fresh(p.name().to_string(), p.bad()))
             .collect();
         let num_props = props.len();
         // The persistent solver of a session run (frames appended per depth).
@@ -628,6 +658,16 @@ impl BmcEngine {
             }
             depth.time = depth_start.elapsed();
             self.per_depth.push(depth);
+            // Depth boundary: the ¬a_{p,k} retirements above have just cut a
+            // batch of learned clauses loose; drop the CDG nodes nothing
+            // live can reach any more (bounds session memory on deep
+            // sweeps). IDs are opaque and cores cite input positions, so
+            // search behaviour and future cores are unchanged.
+            if self.options.cdg_prune {
+                if let Some(solver) = session.as_mut() {
+                    solver.prune_cdg();
+                }
+            }
             if resource_out.is_some() {
                 break 'depths;
             }
@@ -655,22 +695,27 @@ impl BmcEngine {
             properties: props.into_iter().map(PropState::into_report).collect(),
             per_depth: std::mem::take(&mut self.per_depth),
             solver_stats: aggregate,
+            workers: Vec::new(),
             total_time: run_start.elapsed(),
         }
+    }
+
+    /// The engine's run configuration (the parallel drivers read it).
+    pub(crate) fn opts(&self) -> &BmcOptions {
+        &self.options
+    }
+
+    /// Mutable access to the accumulated `varRank` (the parallel drivers
+    /// install the commit-order merged table through this).
+    pub(crate) fn rank_mut(&mut self) -> &mut VarRank {
+        &mut self.rank
     }
 
     /// The solver configuration the strategy dictates: `order_mode` and
     /// `record_cdg` are derived, the rest is taken from
     /// [`BmcOptions::solver`].
     fn solver_options(&self) -> SolverOptions {
-        let mut opts = self.options.solver;
-        opts.order_mode = match self.options.strategy {
-            OrderingStrategy::Standard => OrderMode::Standard,
-            OrderingStrategy::RefinedStatic | OrderingStrategy::Shtrichman => OrderMode::Static,
-            OrderingStrategy::RefinedDynamic { divisor } => OrderMode::Dynamic { divisor },
-        };
-        opts.record_cdg = self.options.strategy.needs_cores() || self.options.force_record_cdg;
-        opts
+        strategy_solver_options(&self.options)
     }
 
     /// The activation literal of property `p_idx` at depth `k` in a session
@@ -678,7 +723,7 @@ impl BmcEngine {
     /// variable range (`num_vars_at(max_depth)`), so they can never collide
     /// with the frame-stable model variables of any depth the run will
     /// reach; each depth owns one consecutive block of `num_props` of them.
-    fn activation_lit(
+    pub(crate) fn activation_lit(
         unroller: &Unroller<'_>,
         options: &BmcOptions,
         num_props: usize,
@@ -692,13 +737,13 @@ impl BmcEngine {
     /// Installs the strategy's ranking for the depth-`k` episodes (the
     /// paper's per-depth `varRank` refresh; re-seedable on a live solver).
     fn install_ranking(&self, solver: &mut Solver, unroller: &Unroller<'_>, k: usize) {
-        match self.options.strategy {
-            OrderingStrategy::Standard => {}
-            OrderingStrategy::Shtrichman => {
-                solver.set_var_ranking(&shtrichman_rank(unroller, k));
-            }
-            _ => solver.set_var_ranking(self.rank.as_slice()),
-        }
+        install_strategy_ranking(
+            self.options.strategy,
+            self.rank.as_slice(),
+            solver,
+            unroller,
+            k,
+        );
     }
 
     /// Builds the paper's per-depth solver (the [`SolverReuse::Fresh`]
@@ -729,25 +774,72 @@ impl BmcEngine {
         unroller: &Unroller<'_>,
         k: usize,
     ) -> Vec<rbmc_cnf::Var> {
-        let bound = unroller.num_vars_at(k);
-        solver
-            .core_vars()
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|v| v.index() < bound)
-            .collect()
+        core_model_vars(solver, unroller.num_vars_at(k))
     }
 
     fn depth_limits(&self) -> Limits {
-        let mut limits = Limits::new();
-        if let Some(n) = self.options.max_conflicts_per_depth {
-            limits = limits.with_max_conflicts(n);
-        }
-        if let Some(deadline) = self.options.deadline {
-            limits = limits.with_deadline(deadline);
-        }
-        limits
+        depth_limits(&self.options)
     }
+}
+
+/// The solver configuration [`BmcOptions`] dictate: `order_mode` and
+/// `record_cdg` are derived from the strategy, the rest is taken from
+/// [`BmcOptions::solver`] (shared by the sequential engine and the parallel
+/// workers, so every provisioned solver is configured identically).
+pub(crate) fn strategy_solver_options(options: &BmcOptions) -> SolverOptions {
+    let mut opts = options.solver;
+    opts.order_mode = match options.strategy {
+        OrderingStrategy::Standard => OrderMode::Standard,
+        OrderingStrategy::RefinedStatic | OrderingStrategy::Shtrichman => OrderMode::Static,
+        OrderingStrategy::RefinedDynamic { divisor } => OrderMode::Dynamic { divisor },
+    };
+    opts.record_cdg = options.strategy.needs_cores() || options.force_record_cdg;
+    opts
+}
+
+/// The per-depth resource limits [`BmcOptions`] dictate.
+pub(crate) fn depth_limits(options: &BmcOptions) -> Limits {
+    let mut limits = Limits::new();
+    if let Some(n) = options.max_conflicts_per_depth {
+        limits = limits.with_max_conflicts(n);
+    }
+    if let Some(deadline) = options.deadline {
+        limits = limits.with_deadline(deadline);
+    }
+    limits
+}
+
+/// Installs the ranking `strategy` dictates for a depth-`k` episode on
+/// `solver`: nothing for Chaff's baseline, the time-axis table for
+/// Shtrichman, and the supplied `varRank` slice for the refined modes. The
+/// sequential engine and the parallel workers share this so a worker's
+/// episode sees exactly the ranking its sequential twin would.
+pub(crate) fn install_strategy_ranking(
+    strategy: OrderingStrategy,
+    rank: &[u64],
+    solver: &mut Solver,
+    unroller: &Unroller<'_>,
+    k: usize,
+) {
+    match strategy {
+        OrderingStrategy::Standard => {}
+        OrderingStrategy::Shtrichman => {
+            solver.set_var_ranking(&shtrichman_rank(unroller, k));
+        }
+        _ => solver.set_var_ranking(rank),
+    }
+}
+
+/// The model variables (frame-stable, `< bound`) of the solver's last UNSAT
+/// core — the paper's `unsatVars`, with session bookkeeping (activation
+/// variables, which live above the unrolling's range) filtered out.
+pub(crate) fn core_model_vars(solver: &Solver, bound: usize) -> Vec<rbmc_cnf::Var> {
+    solver
+        .core_vars()
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|v| v.index() < bound)
+        .collect()
 }
 
 #[cfg(test)]

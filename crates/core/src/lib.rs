@@ -83,6 +83,7 @@ pub mod vcd;
 
 mod engine;
 mod model;
+mod parallel;
 mod problem;
 mod ranking;
 mod shtrichman;
@@ -96,9 +97,10 @@ pub use engine::{
 // Re-exported because it appears throughout the engine's public API
 // (`DepthStats::result`, per-depth verdict comparisons).
 pub use model::Model;
+pub use parallel::{striped_map, ParallelConfig, ShardMode, WorkerReport};
 pub use problem::{FromAigerError, ProblemBuilder, Property, VerificationProblem};
 pub use ranking::{VarRank, Weighting};
 pub use rbmc_solver::SolveResult;
 pub use shtrichman::shtrichman_rank;
 pub use trace::{Trace, TraceError};
-pub use unroll::Unroller;
+pub use unroll::{SharedPrefix, Unroller};

@@ -141,6 +141,12 @@ impl ClauseArena {
         self.data[c.0 as usize + 2]
     }
 
+    /// Overwrites the clause's CDG pseudo-ID (CDG pruning renumbers nodes).
+    #[inline]
+    pub fn set_cdg_id(&mut self, c: ClauseRef, id: u32) {
+        self.data[c.0 as usize + 2] = id;
+    }
+
     /// The first clause record, if any.
     pub fn first(&self) -> Option<ClauseRef> {
         if self.data.is_empty() {

@@ -149,6 +149,82 @@ impl Cdg {
         let final_ants = self.final_antecedents.as_ref()?;
         Some(self.core_from(final_ants))
     }
+
+    /// Discards every node unreachable from `roots` (and from the recorded
+    /// final conflict, if any), compacting the remaining nodes down and
+    /// returning the ID remap: `remap[old_id]` is the surviving node's new
+    /// ID, or [`ClauseId::MAX`] for a discarded node.
+    ///
+    /// This is the session-memory bound of a long BMC run: every future core
+    /// extraction starts from the CDG IDs of *live* clauses (arena records
+    /// plus level-0 unit facts), so once a node is unreachable from all of
+    /// them it can never appear in another proof and its antecedent storage
+    /// is pure garbage. The caller owns the live-root inventory — see
+    /// [`Solver::prune_cdg`](crate::Solver::prune_cdg), which also rewrites
+    /// the IDs stored outside the graph.
+    ///
+    /// Node order (and hence the relative order of surviving IDs) is
+    /// preserved, so interleaved original/learned recording keeps working
+    /// after a prune.
+    pub fn prune_reachable(&mut self, roots: &[ClauseId]) -> Vec<ClauseId> {
+        let num_nodes = self.ant_ends.len();
+        let mut keep = vec![false; num_nodes];
+        let mut stack: Vec<ClauseId> = roots.to_vec();
+        if let Some(final_ants) = &self.final_antecedents {
+            stack.extend_from_slice(final_ants);
+        }
+        while let Some(id) = stack.pop() {
+            let idx = id as usize;
+            if keep[idx] {
+                continue;
+            }
+            keep[idx] = true;
+            if self.leaf[idx] == LEARNED {
+                stack.extend_from_slice(self.antecedents_of(idx));
+            }
+        }
+
+        // Compact in place: surviving nodes keep their relative order.
+        let mut remap = vec![ClauseId::MAX; num_nodes];
+        let mut new_data: Vec<ClauseId> = Vec::new();
+        let mut new_ends: Vec<u32> = Vec::new();
+        let mut new_leaf: Vec<u32> = Vec::new();
+        let mut num_learned = 0u64;
+        for old in 0..num_nodes {
+            if !keep[old] {
+                continue;
+            }
+            remap[old] = new_ends.len() as ClauseId;
+            for &ant in self.antecedents_of(old) {
+                debug_assert_ne!(
+                    remap[ant as usize],
+                    ClauseId::MAX,
+                    "kept node cites kept node"
+                );
+                new_data.push(remap[ant as usize]);
+            }
+            new_ends.push(new_data.len() as u32);
+            new_leaf.push(self.leaf[old]);
+            if self.leaf[old] == LEARNED {
+                num_learned += 1;
+            }
+        }
+        self.ant_data = new_data;
+        self.ant_ends = new_ends;
+        self.leaf = new_leaf;
+        self.num_learned = num_learned;
+        if let Some(final_ants) = self.final_antecedents.as_mut() {
+            for ant in final_ants.iter_mut() {
+                *ant = remap[*ant as usize];
+            }
+        }
+        remap
+    }
+
+    /// Total number of nodes (leaves and inner) currently stored.
+    pub fn num_total_nodes(&self) -> usize {
+        self.ant_ends.len()
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +295,39 @@ mod tests {
         let (mut cdg, ids) = with_originals(1);
         let a = cdg.record_learned(&[ids[0], ids[0]]);
         assert_eq!(cdg.core_from(&[a, a, ids[0]]), vec![0]);
+    }
+
+    #[test]
+    fn prune_drops_unreachable_chains() {
+        // originals 0..3; a <- {0,1}; b <- {a,2}; dead <- {b,3}.
+        // Keeping only {a, leaves} must drop b and dead but keep a's chain.
+        let (mut cdg, ids) = with_originals(4);
+        let a = cdg.record_learned(&[ids[0], ids[1]]);
+        let b = cdg.record_learned(&[a, ids[2]]);
+        let _dead = cdg.record_learned(&[b, ids[3]]);
+        assert_eq!(cdg.num_total_nodes(), 7);
+        let roots: Vec<ClauseId> = ids.iter().copied().chain([a]).collect();
+        let remap = cdg.prune_reachable(&roots);
+        assert_eq!(cdg.num_total_nodes(), 5);
+        assert_eq!(cdg.num_nodes(), 1);
+        assert_eq!(remap[b as usize], ClauseId::MAX);
+        // The surviving node still derives its original core via the
+        // remapped IDs.
+        let new_a = remap[a as usize];
+        assert_eq!(cdg.core_from(&[new_a]), vec![0, 1]);
+        // Recording continues seamlessly after a prune.
+        let c = cdg.record_learned(&[new_a, remap[ids[3] as usize]]);
+        assert_eq!(cdg.core_from(&[c]), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn prune_keeps_final_conflict_reachable() {
+        let (mut cdg, ids) = with_originals(3);
+        let a = cdg.record_learned(&[ids[0], ids[2]]);
+        cdg.record_final(vec![a]);
+        // No explicit roots: the final conflict alone keeps its chain.
+        let remap = cdg.prune_reachable(&ids);
+        assert_ne!(remap[a as usize], ClauseId::MAX);
+        assert_eq!(cdg.extract_core(), Some(vec![0, 2]));
     }
 }

@@ -99,13 +99,6 @@ struct WatchLists {
     longs: Vec<LongWatch>,
 }
 
-impl WatchLists {
-    fn clear(&mut self) {
-        self.bins.clear();
-        self.longs.clear();
-    }
-}
-
 /// A Chaff-style CDCL SAT solver (see the crate docs for the feature list).
 ///
 /// # Examples
@@ -626,6 +619,62 @@ impl Solver {
         &self.stats
     }
 
+    /// Prunes the conflict dependency graph down to the nodes still
+    /// reachable from live clauses, returning how many nodes were discarded.
+    ///
+    /// Without this, a long incremental session grows the CDG without bound:
+    /// nodes are recorded per learned clause *and per level-0 implication*
+    /// and never freed, because a future core extraction may reach
+    /// arbitrarily far back. But every future extraction starts from the CDG
+    /// IDs of clauses that are still *alive* — arena records (original and
+    /// learned) plus the unit-fact nodes of root-level assignments — so
+    /// anything unreachable from those roots is garbage. The BMC engine
+    /// calls this at depth boundaries, where each retired activation literal
+    /// has just turned a batch of learned clauses root-satisfied (deleted at
+    /// the next reduction), cutting their proof chains loose.
+    ///
+    /// Pruning rewrites node IDs; the copies stored outside the graph (arena
+    /// clause headers, per-variable unit-fact nodes) are rewritten here too.
+    /// Search state, verdicts, and future cores are unaffected — IDs are
+    /// opaque, and cores are reported as input positions, which leaves keep.
+    ///
+    /// No-op (returning 0) when CDG recording is off.
+    pub fn prune_cdg(&mut self) -> u64 {
+        if !self.opts.record_cdg {
+            return 0;
+        }
+        let before = self.cdg.num_total_nodes();
+        self.stats.cdg_peak_nodes = self.stats.cdg_peak_nodes.max(self.cdg.num_nodes());
+        let mut roots: Vec<ClauseId> = Vec::new();
+        let mut cursor = self.clauses.first();
+        while let Some(cref) = cursor {
+            cursor = self.clauses.next(cref);
+            if !self.clauses.is_deleted(cref) {
+                roots.push(self.clauses.cdg_id(cref));
+            }
+        }
+        roots.extend(self.unit_node.iter().flatten().copied());
+        let remap = self.cdg.prune_reachable(&roots);
+        let pruned = (before - self.cdg.num_total_nodes()) as u64;
+        if pruned > 0 {
+            let mut cursor = self.clauses.first();
+            while let Some(cref) = cursor {
+                cursor = self.clauses.next(cref);
+                if !self.clauses.is_deleted(cref) {
+                    let old = self.clauses.cdg_id(cref);
+                    self.clauses.set_cdg_id(cref, remap[old as usize]);
+                }
+            }
+            for node in self.unit_node.iter_mut().flatten() {
+                *node = remap[*node as usize];
+            }
+        }
+        self.stats.cdg_pruned_nodes += pruned;
+        self.stats.cdg_nodes = self.cdg.num_nodes();
+        self.stats.cdg_edges = self.cdg.num_edges();
+        pruned
+    }
+
     /// The result of the last solve call, if any.
     pub fn result(&self) -> Option<SolveResult> {
         self.result
@@ -867,6 +916,7 @@ impl Solver {
             let id = self.cdg.record_learned(&self.conflict_ants);
             self.stats.cdg_nodes = self.cdg.num_nodes();
             self.stats.cdg_edges = self.cdg.num_edges();
+            self.stats.cdg_peak_nodes = self.stats.cdg_peak_nodes.max(self.stats.cdg_nodes);
             id
         } else {
             ClauseId::MAX
@@ -943,9 +993,18 @@ impl Solver {
     /// mid-session live interleaved with the learned records; they are never
     /// deleted, but they may be relocated, so `original_refs` is patched
     /// alongside `reasons`.
+    ///
+    /// Watch lists are repaired **incrementally**: a deleted clause is
+    /// detached from the two lists watching it (while its body is still
+    /// readable), and a relocated survivor has exactly its two entries
+    /// rewritten to the new offset. Every other watch list — in particular
+    /// the binary lists of the original clauses, which never move — survives
+    /// the compaction untouched, instead of the previous whole-solver
+    /// rebuild. `SolverStats::watch_entries_repaired` counts the rewrites.
     fn reduce_learned_db(&mut self) {
         // (activity, cref) over unlocked long learned clauses.
         let mut candidates: Vec<(u32, ClauseRef)> = Vec::new();
+        let mut doomed: Vec<ClauseRef> = Vec::new();
         let mut cursor = if self.first_learned < self.clauses.end_offset() {
             Some(ClauseRef::at(self.first_learned))
         } else {
@@ -958,6 +1017,7 @@ impl Solver {
             }
             if self.root_satisfied(cref) {
                 self.clauses.mark_deleted(cref);
+                doomed.push(cref);
                 self.live_learned -= 1;
                 self.stats.deleted += 1;
                 self.stats.root_satisfied_deleted += 1;
@@ -972,8 +1032,15 @@ impl Solver {
         let to_delete = candidates.len() / 2;
         for &(_, cref) in candidates.iter().take(to_delete) {
             self.clauses.mark_deleted(cref);
+            doomed.push(cref);
             self.live_learned -= 1;
             self.stats.deleted += 1;
+        }
+        // Detach the deleted clauses from their watch lists before
+        // compaction frees the bodies (the watch pair is slots 0/1 — an
+        // invariant BCP maintains).
+        for &cref in &doomed {
+            self.detach_watches(cref);
         }
 
         // Compact the learned region and patch the relocated references.
@@ -981,7 +1048,7 @@ impl Solver {
         self.stats.compactions += 1;
         if !remap.is_empty() {
             let first_learned = self.first_learned;
-            let patch = move |r: &mut ClauseRef| {
+            let patch = |r: &mut ClauseRef| {
                 if r.offset() >= first_learned {
                     if let Ok(i) = remap.binary_search_by_key(&r.offset(), |&(old, _)| old) {
                         *r = ClauseRef::at(remap[i].1);
@@ -994,32 +1061,75 @@ impl Solver {
             for original in self.original_refs.iter_mut() {
                 patch(original);
             }
+            // Rewrite the two watch entries of each relocated clause.
+            // Ascending old-offset order makes the scan unambiguous: every
+            // new offset is strictly below its own old offset, and hence
+            // below all old offsets still waiting to be patched.
+            for &(old, new) in &remap {
+                let cref = ClauseRef::at(new);
+                let len = self.clauses.len(cref);
+                if len < 2 {
+                    continue;
+                }
+                let (l0, l1) = (self.clauses.lit(cref, 0), self.clauses.lit(cref, 1));
+                self.repair_watch(l0, len, old, new);
+                self.repair_watch(l1, len, old, new);
+            }
         }
         // Halve activities so future reductions favour recent relevance.
         self.clauses.halve_learned_activities(self.first_learned);
-        self.rebuild_watches();
     }
 
-    /// Rebuilds every watch list from the (compacted) arena. The watch pair
-    /// of each clause is its literal slots 0 and 1, which BCP keeps current,
-    /// so the rebuilt lists preserve the watch invariant mid-search.
-    fn rebuild_watches(&mut self) {
-        for wl in &mut self.watches {
-            wl.clear();
+    /// Removes the two watch entries of `cref` (about to be deleted). Its
+    /// watched literals are slots 0 and 1 by the BCP invariant; unit and
+    /// empty clauses are never watched.
+    fn detach_watches(&mut self, cref: ClauseRef) {
+        let len = self.clauses.len(cref);
+        if len < 2 {
+            return;
         }
-        let mut cursor = self.clauses.first();
-        while let Some(cref) = cursor {
-            cursor = self.clauses.next(cref);
-            debug_assert!(
-                !self.clauses.is_deleted(cref),
-                "compaction left a tombstone"
-            );
-            let len = self.clauses.len(cref);
-            if len >= 2 {
-                let (l0, l1) = (self.clauses.lit(cref, 0), self.clauses.lit(cref, 1));
-                self.watch_clause(cref, len, l0, l1);
+        for slot in 0..2 {
+            let lit = self.clauses.lit(cref, slot);
+            let wl = &mut self.watches[lit.code()];
+            if len == 2 {
+                let i = wl
+                    .bins
+                    .iter()
+                    .position(|w| w.clause == cref)
+                    .expect("deleted binary clause is watched on slots 0/1");
+                wl.bins.swap_remove(i);
+            } else {
+                let i = wl
+                    .longs
+                    .iter()
+                    .position(|w| w.clause == cref)
+                    .expect("deleted long clause is watched on slots 0/1");
+                wl.longs.swap_remove(i);
             }
         }
+    }
+
+    /// Rewrites the watch entry of a relocated clause in `lit`'s list from
+    /// arena offset `old` to `new`.
+    fn repair_watch(&mut self, lit: Lit, len: usize, old: u32, new: u32) {
+        let old_ref = ClauseRef::at(old);
+        let wl = &mut self.watches[lit.code()];
+        if len == 2 {
+            let w = wl
+                .bins
+                .iter_mut()
+                .find(|w| w.clause == old_ref)
+                .expect("relocated binary clause is watched on slots 0/1");
+            w.clause = ClauseRef::at(new);
+        } else {
+            let w = wl
+                .longs
+                .iter_mut()
+                .find(|w| w.clause == old_ref)
+                .expect("relocated long clause is watched on slots 0/1");
+            w.clause = ClauseRef::at(new);
+        }
+        self.stats.watch_entries_repaired += 1;
     }
 
     /// A clause is locked while it is the reason of its asserting literal.
@@ -1193,6 +1303,7 @@ impl Solver {
             self.core = self.cdg.extract_core();
             self.stats.cdg_nodes = self.cdg.num_nodes();
             self.stats.cdg_edges = self.cdg.num_edges();
+            self.stats.cdg_peak_nodes = self.stats.cdg_peak_nodes.max(self.stats.cdg_nodes);
         }
         self.result = Some(SolveResult::Unsat);
     }
@@ -1488,6 +1599,79 @@ mod tests {
         let stats = s.stats();
         assert_eq!(stats.assumption_conflicts, 1);
         assert!(stats.solve_calls >= 2);
+    }
+
+    #[test]
+    fn prune_cdg_keeps_future_cores_exact() {
+        // The activation-literal session shape, pruned at each "depth
+        // boundary": cores extracted after pruning must match the unpruned
+        // solver's exactly.
+        let f = parse_dimacs("p cnf 6 3\n1 0\n-5 -1 0\n-6 2 0\n").unwrap();
+        let mut pruned = Solver::from_formula(&f);
+        let mut plain = Solver::from_formula(&f);
+        for s in [&mut pruned, &mut plain] {
+            assert_eq!(s.solve_under(&[lit(5)]), SolveResult::Unsat);
+        }
+        pruned.prune_cdg();
+        for s in [&mut pruned, &mut plain] {
+            s.add_clause(&[lit(-5)]);
+            assert_eq!(s.solve_under(&[lit(6), lit(-2)]), SolveResult::Unsat);
+        }
+        assert_eq!(pruned.core_clauses(), plain.core_clauses());
+        assert_eq!(pruned.core_clauses().unwrap(), &[2]);
+        pruned.prune_cdg();
+        // A final outright refutation still extracts its core post-prune.
+        for s in [&mut pruned, &mut plain] {
+            s.add_clause(&[lit(-2)]);
+            s.add_clause(&[lit(2)]);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        }
+        assert_eq!(pruned.core_clauses(), plain.core_clauses());
+    }
+
+    #[test]
+    fn compaction_repairs_only_relocated_watches() {
+        // A formula needing real search, with an aggressive reduction
+        // threshold: compactions relocate learned clauses mid-search, and
+        // the incremental repair must keep BCP sound to the (known) verdict.
+        let text = "p cnf 3 8\n1 2 3 0\n1 2 -3 0\n1 -2 3 0\n1 -2 -3 0\n\
+                    -1 2 3 0\n-1 2 -3 0\n-1 -2 3 0\n-1 -2 -3 0\n";
+        let f = parse_dimacs(text).unwrap();
+        let mut s = Solver::from_formula_with(
+            &f,
+            SolverOptions {
+                reduce_base: 2,
+                reduce_inc: 0,
+                luby_unit: 1,
+                ..SolverOptions::default()
+            },
+        );
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.compactions > 0, "reduction must have run");
+        assert!(
+            stats.deleted > 0,
+            "reduction must have deleted learned clauses"
+        );
+        // The core is still exact through all the relocation.
+        let core = s.core_clauses().unwrap();
+        let mut s2 = Solver::from_formula(&f.subformula(core));
+        assert_eq!(s2.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn prune_cdg_is_noop_without_recording() {
+        let f = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        let mut s = Solver::from_formula_with(
+            &f,
+            SolverOptions {
+                record_cdg: false,
+                ..SolverOptions::default()
+            },
+        );
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.prune_cdg(), 0);
+        assert_eq!(s.stats().cdg_pruned_nodes, 0);
     }
 
     #[test]

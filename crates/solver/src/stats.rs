@@ -68,6 +68,18 @@ pub struct SolverStats {
     pub cdg_nodes: u64,
     /// Number of antecedent edges recorded in the simplified CDG.
     pub cdg_edges: u64,
+    /// Highest number of learned CDG nodes alive at once. Without pruning
+    /// this equals the final `cdg_nodes`; with depth-boundary pruning
+    /// ([`Solver::prune_cdg`](crate::Solver::prune_cdg)) it is the session's
+    /// actual memory high-water mark.
+    pub cdg_peak_nodes: u64,
+    /// Number of CDG nodes discarded by [`Solver::prune_cdg`](crate::Solver::prune_cdg)
+    /// (unreachable from every live clause and root-level fact).
+    pub cdg_pruned_nodes: u64,
+    /// Number of watch-list entries rewritten by arena compaction. Only the
+    /// entries of clauses that actually relocated are touched; every other
+    /// watch list survives a compaction byte-for-byte.
+    pub watch_entries_repaired: u64,
 }
 
 impl SolverStats {
@@ -96,6 +108,11 @@ impl SolverStats {
         self.switched_to_vsids |= other.switched_to_vsids;
         self.cdg_nodes += other.cdg_nodes;
         self.cdg_edges += other.cdg_edges;
+        // A peak is a high-water mark, not a flow: over independent solvers
+        // the aggregate peak is the largest individual one.
+        self.cdg_peak_nodes = self.cdg_peak_nodes.max(other.cdg_peak_nodes);
+        self.cdg_pruned_nodes += other.cdg_pruned_nodes;
+        self.watch_entries_repaired += other.watch_entries_repaired;
     }
 }
 
