@@ -16,7 +16,10 @@
 //! ```text
 //! rbmc [DIR] [--export-corpus DIR] [--depth N] [--reuse fresh|session]
 //!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--jobs N]
-//!      [--shard by-property|by-depth] [--selfcheck] [--smoke]
+//!      [--shard by-property|by-depth|striped|work-stealing]
+//!      [--relaxed] [--deterministic]
+//!      [--portfolio] [--portfolio-mode strategies|reuse|full]
+//!      [--selfcheck] [--smoke]
 //!      [--witness-dir DIR] [--json-out PATH | --no-json]
 //! ```
 //!
@@ -36,13 +39,22 @@
 //!   Verdicts, witnesses, and rank tables are independent of `N`; the
 //!   per-file output is buffered and printed in file order, so the whole
 //!   report is byte-stable too.
-//! - `--selfcheck` cross-checks every file's verdicts four ways: the main
-//!   run, the *opposite* solver-reuse regime, a property-sharded parallel
-//!   run, and a depth-sharded parallel run must agree on every property's
-//!   per-depth verdict sequence, and every property is additionally
-//!   re-checked with fresh-per-depth single-property runs
-//!   ([`SolverReuse::Fresh`]). Any mismatch fails the run (non-zero exit)
-//!   naming the offending property.
+//! - `--relaxed` runs each file's engine in a relaxed parallel grain
+//!   (default [`ShardMode::Striped`]; `--shard striped|work-stealing`
+//!   picks): verdict-equivalent to the deterministic run but with
+//!   scheduling-dependent rank tables. `--deterministic` asserts the
+//!   opposite — it is an error to combine it with `--relaxed`,
+//!   `--portfolio`, or a relaxed `--shard`.
+//! - `--portfolio` races independent engine configurations per file
+//!   (first verdict wins, losers cancelled); `--portfolio-mode` picks the
+//!   roster axis (strategies, reuse regimes, or the full product).
+//! - `--selfcheck` is the differential harness: the main run, the
+//!   *opposite* solver-reuse regime, both deterministic parallel grains,
+//!   and both relaxed grains must agree on every property's per-depth
+//!   verdict sequence, and every property is additionally re-checked with
+//!   fresh-per-depth single-property runs ([`SolverReuse::Fresh`]). **All**
+//!   mismatching properties across all modes are reported before the
+//!   non-zero exit — a failure names every offender, not just the first.
 //! - `--smoke` shrinks the export to the small suite and the default depth
 //!   bound to 10 (CI mode).
 //!
@@ -60,7 +72,7 @@ use rbmc_bench::{BenchCase, BenchReport};
 use rbmc_circuit::aiger::parse_aiger;
 use rbmc_circuit::Aig;
 use rbmc_core::{
-    BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig, ProblemBuilder,
+    BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig, PortfolioMode, ProblemBuilder,
     PropertyVerdict, ShardMode, SolveResult, SolverReuse, Trace, VerificationProblem,
 };
 
@@ -163,29 +175,59 @@ fn verdict_sequences(run: &BmcRun) -> Vec<Vec<SolveResult>> {
         .collect()
 }
 
-/// Re-runs the whole problem under an alternative configuration and fails
-/// (naming the first offending property) if any per-depth verdict sequence
-/// differs from the main run's.
+/// The pure comparison at the heart of `--selfcheck`: every property whose
+/// per-depth verdict sequence differs between the main run and a
+/// cross-check run yields one diagnostic naming the property and the
+/// cross-check mode. Returns **all** offenders, not just the first, so a
+/// failing selfcheck reports the complete mismatch set before exiting.
+fn verdict_mismatches(
+    stem: &str,
+    names: &[&str],
+    main: &[Vec<SolveResult>],
+    other: &[Vec<SolveResult>],
+    mode_label: &str,
+) -> Vec<String> {
+    names
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, name)| {
+            let a = main.get(idx);
+            let b = other.get(idx);
+            if a != b {
+                Some(format!(
+                    "{stem}::{name}: {mode_label} verdicts {:?} != main run verdicts {:?}",
+                    b.map_or(&[][..], Vec::as_slice),
+                    a.map_or(&[][..], Vec::as_slice),
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Re-runs the whole problem under an alternative configuration and returns
+/// one diagnostic per property whose per-depth verdict sequence differs
+/// from the main run's.
 fn cross_check(
     stem: &str,
     problem: &VerificationProblem,
     run: &BmcRun,
     options: &BmcOptions,
     mode_label: &str,
-) -> Result<(), String> {
+) -> Vec<String> {
     let mut engine = BmcEngine::for_problem(problem.clone(), *options);
     let other = engine.run_collecting();
-    let main_verdicts = verdict_sequences(run);
-    let other_verdicts = verdict_sequences(&other);
-    for (idx, (a, b)) in main_verdicts.iter().zip(&other_verdicts).enumerate() {
-        if a != b {
-            return Err(format!(
-                "{stem}::{}: {mode_label} verdicts {b:?} != main run verdicts {a:?}",
-                problem.property(idx).name()
-            ));
-        }
-    }
-    Ok(())
+    let names: Vec<&str> = (0..problem.num_properties())
+        .map(|idx| problem.property(idx).name())
+        .collect();
+    verdict_mismatches(
+        stem,
+        &names,
+        &verdict_sequences(run),
+        &verdict_sequences(&other),
+        mode_label,
+    )
 }
 
 /// A checked file's buffered stdout block, its report cases, and whether
@@ -203,6 +245,7 @@ type FileOutcome = (String, Vec<BenchCase>, Result<(), String>);
 fn check_file(
     path: &Path,
     options: &BmcOptions,
+    portfolio: Option<(PortfolioMode, usize)>,
     selfcheck: bool,
     witness_dir: Option<&Path>,
     reuse_label: &str,
@@ -229,8 +272,16 @@ fn check_file(
     }
     let problem = builder.build();
     let wall = Instant::now();
-    let mut engine = BmcEngine::for_problem(problem.clone(), *options);
-    let run = engine.run_collecting();
+    let (run, race) = match portfolio {
+        Some((mode, jobs)) => {
+            let race = rbmc_core::run_portfolio(&problem, options, mode, jobs);
+            (race.run.clone(), Some(race))
+        }
+        None => {
+            let mut engine = BmcEngine::for_problem(problem.clone(), *options);
+            (engine.run_collecting(), None)
+        }
+    };
     let wall = wall.elapsed();
 
     let _ = writeln!(
@@ -247,6 +298,16 @@ fn check_file(
         problem.netlist().num_nodes(),
         aig.num_ands(),
     );
+    if let Some(race) = &race {
+        let _ = writeln!(
+            out,
+            "  portfolio: {} won in {:.3}s ({} member{} raced)",
+            race.members[race.winner].member.label(),
+            race.members[race.winner].time.as_secs_f64(),
+            race.members.len(),
+            if race.members.len() == 1 { "" } else { "s" },
+        );
+    }
     for (idx, prop_report) in run.properties.iter().enumerate() {
         let (status, detail) = match &prop_report.verdict {
             PropertyVerdict::Falsified { depth, .. } => {
@@ -333,6 +394,10 @@ fn check_file(
                     .fold(0.0, f64::max),
             ));
         }
+        if let Some(race) = &race {
+            extra.push(("portfolio_winner".into(), race.winner as f64));
+            extra.push(("portfolio_members".into(), race.members.len() as f64));
+        }
         cases.push(BenchCase {
             name: format!("{stem}::{}", prop_report.name),
             strategy: format!("{strategy_label}/{reuse_label}"),
@@ -351,19 +416,22 @@ fn check_file(
     }
 
     if selfcheck {
-        // Whole-problem cross-checks: the opposite solver-reuse regime plus
-        // both parallel dispatch modes must reproduce the main run's
-        // per-depth verdicts property for property. The parallel
-        // cross-checks inherit the main run's engine worker budget (results
-        // are jobs-invariant, so 1 worker checks the same decomposition) —
-        // hard-coding a larger count here would quietly break the sweep's
-        // no-more-than-~jobs-threads guarantee inside each file worker.
+        // The differential harness: the opposite solver-reuse regime, both
+        // deterministic parallel grains, and both relaxed grains must all
+        // reproduce the main run's per-depth verdicts property for
+        // property. All mismatches across all modes are collected before
+        // failing, so one bad file reports its complete offender set. The
+        // cross-checks inherit the main run's engine worker budget (relaxed
+        // verdicts are worker-count-independent too — that is the contract
+        // under test) — hard-coding a larger count here would quietly break
+        // the sweep's no-more-than-~jobs-threads guarantee inside each file
+        // worker.
         let cross_jobs = options.parallel.map_or(1, |c| c.jobs);
         let other_reuse = match options.reuse {
             SolverReuse::Session => SolverReuse::Fresh,
             SolverReuse::Fresh => SolverReuse::Session,
         };
-        cross_check(
+        let mut mismatches = cross_check(
             &stem,
             &problem,
             &run,
@@ -373,27 +441,27 @@ fn check_file(
                 ..*options
             },
             other_reuse.label(),
-        )?;
-        cross_check(
-            &stem,
-            &problem,
-            &run,
-            &BmcOptions {
-                parallel: Some(ParallelConfig::by_property(cross_jobs)),
-                ..*options
-            },
-            "parallel by-property",
-        )?;
-        cross_check(
-            &stem,
-            &problem,
-            &run,
-            &BmcOptions {
-                parallel: Some(ParallelConfig::by_depth(cross_jobs)),
-                ..*options
-            },
-            "parallel by-depth",
-        )?;
+        );
+        for shard in [
+            ShardMode::ByProperty,
+            ShardMode::ByDepth,
+            ShardMode::Striped,
+            ShardMode::WorkStealing,
+        ] {
+            mismatches.extend(cross_check(
+                &stem,
+                &problem,
+                &run,
+                &BmcOptions {
+                    parallel: Some(ParallelConfig {
+                        jobs: cross_jobs,
+                        shard,
+                    }),
+                    ..*options
+                },
+                &format!("parallel {}", shard.label()),
+            ));
+        }
         // The per-property differential gate: each property re-checked
         // alone, with a fresh solver per depth; per-depth verdicts must be
         // identical.
@@ -413,15 +481,23 @@ fn check_file(
             let fresh_verdicts: Vec<SolveResult> =
                 fresh_run.per_depth.iter().map(|d| d.result).collect();
             if prop_report.depth_results != fresh_verdicts {
-                return Err(format!(
+                mismatches.push(format!(
                     "{stem}::{}: session verdicts {:?} != fresh verdicts {:?}",
                     prop_report.name, prop_report.depth_results, fresh_verdicts
                 ));
             }
         }
+        if !mismatches.is_empty() {
+            return Err(format!(
+                "selfcheck found {} mismatch{}:\n  {}",
+                mismatches.len(),
+                if mismatches.len() == 1 { "" } else { "es" },
+                mismatches.join("\n  ")
+            ));
+        }
         let _ = writeln!(
             out,
-            "  selfcheck: verdicts match across fresh/session/parallel runs"
+            "  selfcheck: verdicts match across fresh/session/parallel/relaxed runs"
         );
     }
     Ok(())
@@ -444,20 +520,50 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    let relaxed = args.iter().any(|a| a == "--relaxed");
+    let deterministic = args.iter().any(|a| a == "--deterministic");
+    let portfolio_flag = args.iter().any(|a| a == "--portfolio");
+    let portfolio_mode = match flag_value(&args, "--portfolio-mode") {
+        None => PortfolioMode::default(),
+        Some(label) => match PortfolioMode::parse(label) {
+            Some(mode) => mode,
+            None => {
+                eprintln!("error: --portfolio-mode requires strategies|reuse|full, got `{label}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
     // The engine-level sharding grain mirrors the solver-reuse regime unless
     // forced: sessions shard by property, the fresh regime by depth.
+    // `--relaxed` flips the default to the striped relaxed grain.
     let shard = match flag_value(&args, "--shard") {
+        None if relaxed => ShardMode::Striped,
         None => match reuse {
             SolverReuse::Session => ShardMode::ByProperty,
             SolverReuse::Fresh => ShardMode::ByDepth,
         },
-        Some("by-property") => ShardMode::ByProperty,
-        Some("by-depth") => ShardMode::ByDepth,
-        Some(other) => {
-            eprintln!("error: --shard requires by-property|by-depth, got `{other}`");
-            return ExitCode::from(2);
-        }
+        Some(label) => match ShardMode::parse(label) {
+            Some(mode) => mode,
+            None => {
+                eprintln!(
+                    "error: --shard requires by-property|by-depth|striped|work-stealing, \
+                     got `{label}`"
+                );
+                return ExitCode::from(2);
+            }
+        },
     };
+    // `--deterministic` asserts the full reproducibility contract; the
+    // relaxed grains and portfolio racing guarantee only verdict
+    // equivalence, so combining them is a contradiction, not a preference.
+    if deterministic && (relaxed || portfolio_flag || !shard.is_deterministic()) {
+        eprintln!(
+            "error: --deterministic cannot be combined with --relaxed, --portfolio, \
+             or --shard {}",
+            shard.label()
+        );
+        return ExitCode::from(2);
+    }
     let witness_dir = flag_value(&args, "--witness-dir").map(PathBuf::from);
     if let Some(dir) = &witness_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -504,6 +610,7 @@ fn main() -> ExitCode {
         "--reuse",
         "--jobs",
         "--shard",
+        "--portfolio-mode",
         "--witness-dir",
         "--json-out",
         "--export-corpus",
@@ -529,7 +636,9 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: rbmc [DIR] [--export-corpus DIR] [--depth N] \
              [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
-             [--jobs N] [--shard by-property|by-depth] \
+             [--jobs N] [--shard by-property|by-depth|striped|work-stealing] \
+             [--relaxed] [--deterministic] \
+             [--portfolio] [--portfolio-mode strategies|reuse|full] \
              [--selfcheck] [--smoke] [--witness-dir DIR] [--json-out PATH | --no-json]"
         );
         return ExitCode::from(2);
@@ -568,33 +677,45 @@ fn main() -> ExitCode {
     // engine-grain sharding, so the whole budget goes to each file's engine
     // (even `jobs = 1` — the parallel decomposition with one worker) and
     // the file sweep runs sequentially.
-    let shard_forced = flag_value(&args, "--shard").is_some();
-    let file_workers = if shard_forced {
+    // `--relaxed` and `--portfolio` are engine-grain requests just like an
+    // explicit `--shard`: the whole budget goes to each file's engine (or
+    // race) and the file sweep runs sequentially.
+    let engine_forced = flag_value(&args, "--shard").is_some() || relaxed || portfolio_flag;
+    let file_workers = if engine_forced {
         1
     } else {
         jobs.min(files.len()).max(1)
     };
-    let engine_jobs = if shard_forced {
+    let engine_jobs = if engine_forced {
         jobs
     } else {
         (jobs / file_workers).max(1)
     };
+    let portfolio = portfolio_flag.then_some((portfolio_mode, engine_jobs));
     let options = BmcOptions {
         max_depth: depth,
         strategy,
         reuse,
-        parallel: (engine_jobs > 1 || shard_forced).then_some(ParallelConfig {
-            jobs: engine_jobs,
-            shard,
-        }),
+        // A portfolio race runs each member sequentially — the race is the
+        // parallelism.
+        parallel: (!portfolio_flag && (engine_jobs > 1 || engine_forced)).then_some(
+            ParallelConfig {
+                jobs: engine_jobs,
+                shard,
+            },
+        ),
         ..BmcOptions::default()
     };
+    let grain_label = if portfolio_flag {
+        format!("portfolio-{}", portfolio_mode.label())
+    } else {
+        shard.label().to_string()
+    };
     let mut report = BenchReport::new(format!(
-        "rbmc corpus ({}, depth={depth}, strategy={}, reuse={}, jobs={jobs}/{}{})",
+        "rbmc corpus ({}, depth={depth}, strategy={}, reuse={}, jobs={jobs}/{grain_label}{})",
         corpus_dir.display(),
         strategy.label(),
         reuse.label(),
-        shard.label(),
         if selfcheck { ", selfcheck" } else { "" }
     ));
     let start = Instant::now();
@@ -608,6 +729,7 @@ fn main() -> ExitCode {
         let result = check_file(
             &files[i],
             &options,
+            portfolio,
             selfcheck,
             witness_dir.as_deref(),
             reuse.label(),
@@ -652,5 +774,42 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::verdict_mismatches;
+    use rbmc_core::SolveResult::{Sat, Unsat};
+
+    #[test]
+    fn verdict_mismatches_reports_every_offender_not_just_the_first() {
+        let main = vec![vec![Unsat, Sat], vec![Unsat, Unsat], vec![Unsat]];
+        let other = vec![vec![Unsat, Unsat], vec![Unsat, Unsat], vec![Sat]];
+        let found = verdict_mismatches(
+            "file",
+            &["p0", "p1", "p2"],
+            &main,
+            &other,
+            "parallel striped",
+        );
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].contains("file::p0") && found[0].contains("parallel striped"));
+        assert!(found[1].contains("file::p2"));
+    }
+
+    #[test]
+    fn verdict_mismatches_is_empty_on_agreement() {
+        let seqs = vec![vec![Unsat, Sat]];
+        assert!(verdict_mismatches("file", &["p0"], &seqs, &seqs, "mode").is_empty());
+    }
+
+    #[test]
+    fn verdict_mismatches_flags_missing_properties() {
+        let main = vec![vec![Unsat], vec![Unsat]];
+        let other = vec![vec![Unsat]];
+        let found = verdict_mismatches("file", &["p0", "p1"], &main, &other, "mode");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("file::p1"));
     }
 }

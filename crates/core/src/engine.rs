@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use rbmc_circuit::Signal;
 use rbmc_cnf::Lit;
-use rbmc_solver::{Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
+use rbmc_solver::{CancelFlag, Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
 
 use crate::parallel::{self, ParallelConfig, WorkerReport};
 use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, VerificationProblem, Weighting};
@@ -439,6 +439,7 @@ pub struct BmcEngine {
     options: BmcOptions,
     rank: VarRank,
     per_depth: Vec<DepthStats>,
+    cancel: Option<CancelFlag>,
 }
 
 impl fmt::Debug for BmcEngine {
@@ -461,6 +462,7 @@ impl BmcEngine {
             options,
             rank: VarRank::new(options.weighting),
             per_depth: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -485,6 +487,22 @@ impl BmcEngine {
     /// The accumulated `varRank` (inspect after a run).
     pub fn rank(&self) -> &VarRank {
         &self.rank
+    }
+
+    /// Attaches a cooperative cancellation flag. Once
+    /// [`CancelFlag::cancel`] is raised, every in-flight solve episode
+    /// returns [`SolveResult::Unknown`] at its next budget checkpoint and
+    /// the run truncates through the [`BmcOutcome::ResourceOut`] path — the
+    /// same committed-partial-run semantics a conflict budget produces.
+    /// Portfolio racing uses this to cut losers off mid-depth.
+    pub fn set_cancel(&mut self, cancel: CancelFlag) {
+        self.cancel = Some(cancel);
+    }
+
+    /// The attached cancellation flag, if any (the parallel drivers thread
+    /// it into every worker's limits).
+    pub(crate) fn cancel_flag(&self) -> Option<&CancelFlag> {
+        self.cancel.as_ref()
     }
 
     /// Runs the loop of Fig. 5 and returns only the summary outcome.
@@ -778,7 +796,7 @@ impl BmcEngine {
     }
 
     fn depth_limits(&self) -> Limits {
-        depth_limits(&self.options)
+        depth_limits(&self.options, self.cancel.as_ref())
     }
 }
 
@@ -797,14 +815,19 @@ pub(crate) fn strategy_solver_options(options: &BmcOptions) -> SolverOptions {
     opts
 }
 
-/// The per-depth resource limits [`BmcOptions`] dictate.
-pub(crate) fn depth_limits(options: &BmcOptions) -> Limits {
+/// The per-depth resource limits [`BmcOptions`] dictate, with the engine's
+/// cancellation flag (if any) attached so mid-depth cancellation surfaces
+/// through the same [`SolveResult::Unknown`] truncation path as a budget.
+pub(crate) fn depth_limits(options: &BmcOptions, cancel: Option<&CancelFlag>) -> Limits {
     let mut limits = Limits::new();
     if let Some(n) = options.max_conflicts_per_depth {
         limits = limits.with_max_conflicts(n);
     }
     if let Some(deadline) = options.deadline {
         limits = limits.with_deadline(deadline);
+    }
+    if let Some(cancel) = cancel {
+        limits = limits.with_cancel(cancel.clone());
     }
     limits
 }

@@ -84,8 +84,10 @@ pub mod vcd;
 mod engine;
 mod model;
 mod parallel;
+mod portfolio;
 mod problem;
 mod ranking;
+mod relaxed;
 mod shtrichman;
 mod trace;
 mod unroll;
@@ -98,9 +100,12 @@ pub use engine::{
 // (`DepthStats::result`, per-depth verdict comparisons).
 pub use model::Model;
 pub use parallel::{striped_map, ParallelConfig, ShardMode, WorkerReport};
+pub use portfolio::{
+    run_portfolio, MemberReport, MemberState, PortfolioMember, PortfolioMode, PortfolioRun,
+};
 pub use problem::{FromAigerError, ProblemBuilder, Property, VerificationProblem};
 pub use ranking::{VarRank, Weighting};
-pub use rbmc_solver::SolveResult;
+pub use rbmc_solver::{CancelFlag, SolveResult};
 pub use shtrichman::shtrichman_rank;
 pub use trace::{Trace, TraceError};
 pub use unroll::{SharedPrefix, Unroller};

@@ -54,13 +54,20 @@
 //!   shared session would not (or vice versa) and the cut can land at a
 //!   different point than sequential `Session` mode. Jobs-invariance holds
 //!   regardless — the decomposition never depends on `jobs`.
+//!
+//! Beside these two deterministic grains live the **relaxed** grains
+//! ([`ShardMode::Striped`], [`ShardMode::WorkStealing`]) of the `relaxed`
+//! module, which trade the commit-order barrier for throughput:
+//! verdict-equivalent to the sequential oracle (and gated by a differential
+//! harness on exactly that contract), but with scheduling-dependent rank
+//! tables and episode costs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rbmc_cnf::Var;
-use rbmc_solver::{SolveResult, Solver, SolverStats};
+use rbmc_solver::{CancelFlag, SolveResult, Solver, SolverStats};
 
 use crate::engine::{
     core_model_vars, depth_limits, install_strategy_ranking, strategy_solver_options, BmcEngine,
@@ -83,6 +90,23 @@ pub enum ShardMode {
     /// once; the refined strategies pipeline depth-by-depth because each
     /// depth's ranking depends on the previous cores.
     ByDepth,
+    /// **Relaxed**: session solvers striped across depth residues — worker
+    /// `w` of `W` owns every depth `k ≡ w (mod W)`, keeping one warm
+    /// incremental solver (learned clauses persist across its depths) that
+    /// sweeps all properties of each owned depth. `varRank` core unions
+    /// commit through a shared table as depths *finish*, not in depth
+    /// order — commutative instead of commit-ordered, so verdicts,
+    /// retirement depths, and traces still match the sequential oracle
+    /// (they are semantic properties of each instance) but the final rank
+    /// table and the episode costs may vary with scheduling. See the
+    /// `relaxed` module docs for the exact contract.
+    Striped,
+    /// **Relaxed**: one session solver per property, rebalanced by work
+    /// stealing — idle workers steal whole property sessions from the
+    /// busiest deque, so a skewed property mix no longer serializes on the
+    /// worker that drew the expensive properties. Same relaxed contract as
+    /// [`ShardMode::Striped`].
+    WorkStealing,
 }
 
 impl ShardMode {
@@ -91,6 +115,27 @@ impl ShardMode {
         match self {
             ShardMode::ByProperty => "by-property",
             ShardMode::ByDepth => "by-depth",
+            ShardMode::Striped => "striped",
+            ShardMode::WorkStealing => "work-stealing",
+        }
+    }
+
+    /// Whether this grain honors the full determinism contract (results
+    /// independent of `jobs` and scheduling, rank table included). The
+    /// relaxed grains guarantee only verdict equivalence with the
+    /// sequential oracle.
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, ShardMode::ByProperty | ShardMode::ByDepth)
+    }
+
+    /// Parses a mode label as accepted by the CLI tools (`--shard`).
+    pub fn parse(label: &str) -> Option<ShardMode> {
+        match label {
+            "by-property" | "property" => Some(ShardMode::ByProperty),
+            "by-depth" | "depth" => Some(ShardMode::ByDepth),
+            "striped" => Some(ShardMode::Striped),
+            "work-stealing" | "steal" => Some(ShardMode::WorkStealing),
+            _ => None,
         }
     }
 }
@@ -121,6 +166,22 @@ impl ParallelConfig {
             shard: ShardMode::ByDepth,
         }
     }
+
+    /// Relaxed depth-residue-striped run with `jobs` workers.
+    pub fn striped(jobs: usize) -> ParallelConfig {
+        ParallelConfig {
+            jobs,
+            shard: ShardMode::Striped,
+        }
+    }
+
+    /// Relaxed work-stealing run with `jobs` workers.
+    pub fn work_stealing(jobs: usize) -> ParallelConfig {
+        ParallelConfig {
+            jobs,
+            shard: ShardMode::WorkStealing,
+        }
+    }
 }
 
 /// One worker's share of a parallel run (see [`BmcRun::workers`]).
@@ -140,6 +201,9 @@ pub struct WorkerReport {
     pub conflicts: u64,
     /// Propagations over this worker's episodes.
     pub propagations: u64,
+    /// Property sessions stolen from another worker's deque
+    /// ([`ShardMode::WorkStealing`] only; 0 elsewhere).
+    pub steals: u64,
     /// Busy wall-clock time of this worker (summed over its items).
     pub time: Duration,
 }
@@ -150,37 +214,74 @@ pub(crate) fn run_parallel(engine: &mut BmcEngine, config: ParallelConfig) -> Bm
     match config.shard {
         ShardMode::ByProperty => run_by_property(engine, jobs),
         ShardMode::ByDepth => run_by_depth(engine, jobs),
+        ShardMode::Striped => crate::relaxed::run_striped(engine, jobs),
+        ShardMode::WorkStealing => crate::relaxed::run_work_stealing(engine, jobs),
     }
 }
 
 /// Everything one solve episode produced, buffered for commit-order merge.
-struct Episode {
-    result: SolveResult,
-    decisions: u64,
-    implications: u64,
-    conflicts: u64,
-    cdg_nodes: u64,
-    cdg_edges: u64,
-    num_clauses: usize,
-    switched: bool,
+pub(crate) struct Episode {
+    pub(crate) result: SolveResult,
+    pub(crate) decisions: u64,
+    pub(crate) implications: u64,
+    pub(crate) conflicts: u64,
+    pub(crate) cdg_nodes: u64,
+    pub(crate) cdg_edges: u64,
+    pub(crate) num_clauses: usize,
+    pub(crate) switched: bool,
     /// The frame-stable core variables of an UNSAT episode (already sorted
     /// and deduplicated), empty otherwise.
-    core: Vec<Var>,
+    pub(crate) core: Vec<Var>,
     /// The validated counterexample of a SAT episode.
-    trace: Option<Trace>,
+    pub(crate) trace: Option<Trace>,
     /// Full stats of the fresh solver that ran this episode (ByDepth only;
     /// what the sequential fresh engine accumulates per episode).
-    solver_stats: Option<SolverStats>,
-    time: Duration,
+    pub(crate) solver_stats: Option<SolverStats>,
+    pub(crate) time: Duration,
+}
+
+impl Episode {
+    /// A zero-cost placeholder Unknown episode. The relaxed commit walk
+    /// synthesizes one where a cancelled run left a gap a still-open
+    /// property needed, so the truncation machinery sees the same
+    /// `Unknown`-at-the-cut shape a budget exhaustion produces.
+    pub(crate) fn synthetic_unknown() -> Episode {
+        Episode {
+            result: SolveResult::Unknown,
+            decisions: 0,
+            implications: 0,
+            conflicts: 0,
+            cdg_nodes: 0,
+            cdg_edges: 0,
+            num_clauses: 0,
+            switched: false,
+            core: Vec::new(),
+            trace: None,
+            solver_stats: None,
+            time: Duration::ZERO,
+        }
+    }
 }
 
 /// A per-property session's complete sweep (ByProperty worker output).
-struct GroupOutcome {
-    prop: PropState,
+pub(crate) struct GroupOutcome {
+    pub(crate) prop: PropState,
     /// One entry per attempted depth, in depth order.
-    episodes: Vec<Episode>,
+    pub(crate) episodes: Vec<Episode>,
     /// The session solver's final counters.
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
+}
+
+impl GroupOutcome {
+    /// An empty group for property `p_idx` of `model` (no episodes yet).
+    pub(crate) fn fresh(model: &Model, p_idx: usize) -> GroupOutcome {
+        let property = model.problem().property(p_idx);
+        GroupOutcome {
+            prop: PropState::fresh(property.name().to_string(), property.bad()),
+            episodes: Vec::new(),
+            stats: SolverStats::new(),
+        }
+    }
 }
 
 /// One work item's contribution to its worker's counters.
@@ -300,14 +401,15 @@ fn striped_dispatch<R: Send>(
 fn run_by_property(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
     let run_start = Instant::now();
     let options = *engine.opts();
+    let cancel = engine.cancel_flag().cloned();
     let model = engine.model().clone();
     let num_props = model.problem().num_properties();
     let unroller = Unroller::new(&model);
 
-    let (mut groups, workers) = unroller.with_shared_prefix(options.max_depth, |prefix| {
+    let (groups, workers) = unroller.with_shared_prefix(options.max_depth, |prefix| {
         let mut workers = Vec::new();
         let results = striped_dispatch(num_props, jobs, &mut workers, |p| {
-            let group = run_property_session(&model, &options, &prefix, p);
+            let group = run_property_session(&model, &options, &prefix, cancel.as_ref(), p);
             let share = WorkerShare::of_group(&group.prop);
             Some((group, share))
         });
@@ -318,9 +420,23 @@ fn run_by_property(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         (groups, workers)
     });
 
-    // Emulate the sequential control flow: the earliest (depth, property)
-    // budget exhaustion stops the whole run, so episodes past that commit
-    // point are discarded before merging.
+    cut_and_merge(engine, &options, &unroller, groups, workers, run_start)
+}
+
+/// Emulates the sequential control flow on per-property session results:
+/// the earliest (depth, property) budget exhaustion stops the whole run, so
+/// episodes past that commit point are discarded, then the committed
+/// remainder merges into a [`BmcRun`]. Shared by [`ShardMode::ByProperty`]
+/// and the relaxed grains (whose group shape is identical once their
+/// episodes are reassembled per property).
+pub(crate) fn cut_and_merge(
+    engine: &mut BmcEngine,
+    options: &BmcOptions,
+    unroller: &Unroller<'_>,
+    mut groups: Vec<GroupOutcome>,
+    workers: Vec<WorkerReport>,
+    run_start: Instant,
+) -> BmcRun {
     let cut = groups
         .iter()
         .enumerate()
@@ -342,14 +458,14 @@ fn run_by_property(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         }
     }
 
-    merge_committed(engine, &options, &unroller, groups, workers, run_start)
+    merge_committed(engine, options, unroller, groups, workers, run_start)
 }
 
 /// Trims a per-property session result to its first `keep` episodes,
 /// recomputing the derived per-property counters (used when a budget
 /// exhaustion elsewhere stops the run before this property's later depths
 /// would have been reached sequentially).
-fn truncate_group(group: &mut GroupOutcome, keep: usize) {
+pub(crate) fn truncate_group(group: &mut GroupOutcome, keep: usize) {
     if group.episodes.len() <= keep {
         return;
     }
@@ -383,6 +499,7 @@ fn run_property_session(
     model: &Model,
     options: &BmcOptions,
     prefix: &SharedPrefix<'_>,
+    cancel: Option<&CancelFlag>,
     p_idx: usize,
 ) -> GroupOutcome {
     let property = model.problem().property(p_idx);
@@ -392,7 +509,7 @@ fn run_property_session(
     let mut prop = PropState::fresh(property.name().to_string(), property.bad());
     let mut rank = VarRank::new(options.weighting);
     let mut solver = Solver::with_options(strategy_solver_options(options));
-    let limits = depth_limits(options);
+    let limits = depth_limits(options, cancel);
     let mut episodes = Vec::new();
 
     for k in 0..=options.max_depth {
@@ -473,6 +590,7 @@ fn run_property_session(
 fn run_by_depth(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
     let run_start = Instant::now();
     let options = *engine.opts();
+    let cancel = engine.cancel_flag().cloned();
     let model = engine.model().clone();
     let unroller = Unroller::new(&model);
     let bads: Vec<_> = model
@@ -496,6 +614,7 @@ fn run_by_depth(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
                 &model,
                 &options,
                 &prefix,
+                cancel.as_ref(),
                 &bads,
                 &mut rank,
                 &mut workers,
@@ -504,7 +623,15 @@ fn run_by_depth(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         } else {
             // No rank chaining: the whole (depth × property) lattice is
             // independent. Dispatch everything; commit order sorts it out.
-            run_depth_lattice(&model, &options, &prefix, &bads, &mut workers, jobs)
+            run_depth_lattice(
+                &model,
+                &options,
+                &prefix,
+                cancel.as_ref(),
+                &bads,
+                &mut workers,
+                jobs,
+            )
         }
     });
     *engine.rank_mut() = rank;
@@ -520,6 +647,7 @@ fn run_fresh_episode(
     model: &Model,
     options: &BmcOptions,
     prefix: &SharedPrefix<'_>,
+    cancel: Option<&CancelFlag>,
     rank: &[u64],
     bad: rbmc_circuit::Signal,
     k: usize,
@@ -533,7 +661,7 @@ fn run_fresh_episode(
     }
     solver.add_clause(&[unroller.lit_of(bad, k)]);
     install_strategy_ranking(options.strategy, rank, &mut solver, &unroller, k);
-    let result = solver.solve_limited(&depth_limits(options));
+    let result = solver.solve_limited(&depth_limits(options, cancel));
     let stats = solver.stats().clone();
     let mut episode = Episode {
         result,
@@ -566,10 +694,12 @@ fn run_fresh_episode(
 /// Depth-synchronized dispatch for the core-chained strategies: solve all
 /// open properties of each depth concurrently, then commit their cores (in
 /// property order) into the rank table before the next depth launches.
+#[allow(clippy::too_many_arguments)]
 fn run_depth_wavefront(
     model: &Model,
     options: &BmcOptions,
     prefix: &SharedPrefix<'_>,
+    cancel: Option<&CancelFlag>,
     bads: &[rbmc_circuit::Signal],
     rank: &mut VarRank,
     workers: &mut Vec<WorkerReport>,
@@ -591,7 +721,8 @@ fn run_depth_wavefront(
         }
         let rank_slice = rank.as_slice();
         let mut episodes = striped_dispatch(open.len(), jobs, workers, |i| {
-            let episode = run_fresh_episode(model, options, prefix, rank_slice, bads[open[i]], k);
+            let episode =
+                run_fresh_episode(model, options, prefix, cancel, rank_slice, bads[open[i]], k);
             let share = WorkerShare::of_episode(&episode);
             Some((episode, share))
         });
@@ -625,6 +756,7 @@ fn run_depth_lattice(
     model: &Model,
     options: &BmcOptions,
     prefix: &SharedPrefix<'_>,
+    cancel: Option<&CancelFlag>,
     bads: &[rbmc_circuit::Signal],
     workers: &mut Vec<WorkerReport>,
     jobs: usize,
@@ -642,7 +774,7 @@ fn run_depth_lattice(
         if k > sat_seen[p].load(Ordering::Relaxed) {
             return None;
         }
-        let episode = run_fresh_episode(model, options, prefix, &[], bads[p], k);
+        let episode = run_fresh_episode(model, options, prefix, cancel, &[], bads[p], k);
         if episode.result == SolveResult::Sat {
             sat_seen[p].fetch_min(k, Ordering::Relaxed);
         }
@@ -686,12 +818,13 @@ fn absorb_worker_share(report: &mut WorkerReport, share: &WorkerReport) {
     report.decisions += share.decisions;
     report.conflicts += share.conflicts;
     report.propagations += share.propagations;
+    report.steals += share.steals;
     report.time += share.time;
 }
 
 /// Folds one committed fresh episode into its property's running state
 /// (mirrors the sequential fresh path's per-episode bookkeeping).
-fn commit_episode(group: &mut GroupOutcome, mut episode: Episode, k: usize) {
+pub(crate) fn commit_episode(group: &mut GroupOutcome, mut episode: Episode, k: usize) {
     let prop = &mut group.prop;
     prop.episodes += 1;
     prop.decisions += episode.decisions;
@@ -741,7 +874,7 @@ fn commit_depth_rank(options: &BmcOptions, rank: &mut VarRank, groups: &[GroupOu
 /// depth's episodes, the commit-order rank merge for property-sharded runs,
 /// and the sequential outcome precedence (shallowest counterexample first,
 /// then budget exhaustion, then bound reached).
-fn merge_committed(
+pub(crate) fn merge_committed(
     engine: &mut BmcEngine,
     options: &BmcOptions,
     unroller: &Unroller<'_>,

@@ -1189,6 +1189,11 @@ impl Solver {
                 return true;
             }
         }
+        if let Some(cancel) = &limits.cancel {
+            if cancel.is_cancelled() {
+                return true;
+            }
+        }
         false
     }
 

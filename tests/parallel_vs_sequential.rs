@@ -208,6 +208,12 @@ proptest! {
                             prop_assert_eq!(&par_rank, &session_rank, "{:?} jobs={}", strategy, jobs)
                         }
                         ShardMode::ByProperty => {}
+                        // Relaxed grains are covered by
+                        // tests/relaxed_vs_deterministic.rs; this harness
+                        // only sweeps the deterministic ones.
+                        ShardMode::Striped | ShardMode::WorkStealing => {
+                            unreachable!("deterministic harness swept a relaxed shard")
+                        }
                     }
                 }
             }

@@ -1,0 +1,255 @@
+//! The differential harness of the relaxed parallel modes: on random
+//! multi-property sequential circuits, every relaxed grain (striped
+//! sessions, work stealing) and every portfolio roster at every worker
+//! budget must reproduce the sequential oracle's per-property per-depth
+//! verdicts and retirement depths, and every counterexample trace must
+//! replay on the netlist. Rank tables are deliberately *not* compared —
+//! scheduling-dependence of the heuristic state is the relaxation; the
+//! semantic results are the contract.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use refined_bmc::bmc::{
+    run_portfolio, BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig, PortfolioMode,
+    ProblemBuilder, PropertyVerdict, ShardMode, SolveResult, VerificationProblem,
+};
+use refined_bmc::circuit::{LatchInit, Netlist, Signal};
+
+/// Construction steps over a signal pool (inputs, latches, then gates) —
+/// the same recipe shape as `parallel_vs_sequential`.
+#[derive(Debug, Clone)]
+enum Step {
+    And(usize, usize),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+#[derive(Debug, Clone)]
+struct ProblemRecipe {
+    num_inputs: usize,
+    latch_inits: Vec<LatchInit>,
+    steps: Vec<Step>,
+    nexts: Vec<usize>,
+    bads: Vec<usize>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = ProblemRecipe> {
+    let init = prop_oneof![
+        Just(LatchInit::Zero),
+        Just(LatchInit::One),
+        Just(LatchInit::Free)
+    ];
+    (1usize..3, prop::collection::vec(init, 1..5)).prop_flat_map(|(num_inputs, latch_inits)| {
+        let steps = prop::collection::vec(
+            prop_oneof![
+                (0usize..64, 0usize..64).prop_map(|(a, b)| Step::And(a, b)),
+                (0usize..64, 0usize..64).prop_map(|(a, b)| Step::Xor(a, b)),
+                (0usize..64, 0usize..64, 0usize..64).prop_map(|(s, a, b)| Step::Mux(s, a, b)),
+            ],
+            1..12,
+        );
+        let nl = latch_inits.len();
+        (steps, Just(latch_inits)).prop_flat_map(move |(steps, latch_inits)| {
+            let pool = 1 + num_inputs + nl + steps.len();
+            (
+                prop::collection::vec(0usize..pool, nl),
+                prop::collection::vec(0usize..pool, 1..4),
+                Just(steps),
+                Just(latch_inits),
+            )
+                .prop_map(move |(nexts, bads, steps, latch_inits)| ProblemRecipe {
+                    num_inputs,
+                    latch_inits,
+                    steps,
+                    nexts,
+                    bads,
+                })
+        })
+    })
+}
+
+fn build(recipe: &ProblemRecipe) -> VerificationProblem {
+    let mut n = Netlist::new();
+    let mut pool: Vec<Signal> = vec![Signal::TRUE];
+    for i in 0..recipe.num_inputs {
+        pool.push(n.add_input(&format!("i{i}")));
+    }
+    let latches: Vec<Signal> = recipe
+        .latch_inits
+        .iter()
+        .enumerate()
+        .map(|(i, &init)| {
+            let l = n.add_latch(&format!("l{i}"), init);
+            pool.push(l);
+            l
+        })
+        .collect();
+    for step in &recipe.steps {
+        let pick = |i: usize, pool: &Vec<Signal>| pool[i % pool.len()];
+        let s = match *step {
+            Step::And(a, b) => {
+                let (x, y) = (pick(a, &pool), pick(b, &pool));
+                n.and2(x, y)
+            }
+            Step::Xor(a, b) => {
+                let (x, y) = (pick(a, &pool), pick(b, &pool));
+                n.xor2(x, y)
+            }
+            Step::Mux(s, a, b) => {
+                let (c, x, y) = (pick(s, &pool), pick(a, &pool), pick(b, &pool));
+                n.mux(c, x, y)
+            }
+        };
+        pool.push(s);
+    }
+    for (&l, &nx) in latches.iter().zip(&recipe.nexts) {
+        n.set_next(l, pool[nx % pool.len()]);
+    }
+    let mut builder = ProblemBuilder::new("random", n);
+    for (i, &b) in recipe.bads.iter().enumerate() {
+        builder = builder.property(&format!("p{i}"), pool[b % pool.len()]);
+    }
+    builder.build()
+}
+
+fn options(
+    strategy: OrderingStrategy,
+    parallel: Option<ParallelConfig>,
+    depth: usize,
+) -> BmcOptions {
+    BmcOptions {
+        max_depth: depth,
+        strategy,
+        parallel,
+        ..BmcOptions::default()
+    }
+}
+
+fn run(
+    problem: &VerificationProblem,
+    strategy: OrderingStrategy,
+    parallel: Option<ParallelConfig>,
+    depth: usize,
+) -> BmcRun {
+    let mut engine = BmcEngine::for_problem(problem.clone(), options(strategy, parallel, depth));
+    engine.run_collecting()
+}
+
+/// The cross-run comparison currency: per-property per-depth verdict
+/// sequences plus retirement depths. Rank tables are excluded on purpose.
+type Signature = Vec<(Vec<SolveResult>, Option<usize>)>;
+
+fn signature(run: &BmcRun) -> Signature {
+    run.properties
+        .iter()
+        .map(|p| (p.depth_results.clone(), p.retirement_depth))
+        .collect()
+}
+
+/// Asserts two signatures agree property by property, naming the mode,
+/// worker budget, and the offending property on failure.
+fn assert_signatures_match(
+    oracle: &Signature,
+    relaxed: &Signature,
+    run: &BmcRun,
+    problem: &VerificationProblem,
+    mode: &str,
+    jobs: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        relaxed.len(),
+        oracle.len(),
+        "{} jobs={}: property count diverged",
+        mode,
+        jobs
+    );
+    for (idx, (o, r)) in oracle.iter().zip(relaxed).enumerate() {
+        prop_assert_eq!(
+            r,
+            o,
+            "mode {} jobs={} property {}: relaxed verdicts diverged from the sequential oracle",
+            mode,
+            jobs,
+            problem.property(idx).name()
+        );
+    }
+    // Every counterexample the relaxed run reports must replay on the
+    // netlist — verdict equivalence with an invalid witness would be vacuous.
+    for (idx, prop) in run.properties.iter().enumerate() {
+        if let PropertyVerdict::Falsified { trace, .. } = &prop.verdict {
+            prop_assert!(
+                trace
+                    .validate_against(problem.netlist(), problem.property(idx).bad())
+                    .is_ok(),
+                "mode {} jobs={} property {}: relaxed trace fails netlist replay",
+                mode,
+                jobs,
+                problem.property(idx).name()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn relaxed_grains_match_the_sequential_oracle(recipe in arb_recipe()) {
+        const DEPTH: usize = 6;
+        let problem = build(&recipe);
+        for strategy in [
+            OrderingStrategy::Standard,
+            OrderingStrategy::RefinedStatic,
+            OrderingStrategy::RefinedDynamic { divisor: 64 },
+        ] {
+            let oracle = run(&problem, strategy, None, DEPTH);
+            let oracle_sig = signature(&oracle);
+            for shard in [ShardMode::Striped, ShardMode::WorkStealing] {
+                for jobs in [1usize, 2, 4] {
+                    let par = run(
+                        &problem,
+                        strategy,
+                        Some(ParallelConfig { jobs, shard }),
+                        DEPTH,
+                    );
+                    assert_signatures_match(
+                        &oracle_sig,
+                        &signature(&par),
+                        &par,
+                        &problem,
+                        &format!("{}/{}", shard.label(), strategy.label()),
+                        jobs,
+                    )?;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_races_match_the_sequential_oracle(recipe in arb_recipe()) {
+        const DEPTH: usize = 6;
+        let problem = build(&recipe);
+        let base = options(OrderingStrategy::default(), None, DEPTH);
+        let mut engine = BmcEngine::for_problem(problem.clone(), base);
+        let oracle = engine.run_collecting();
+        let oracle_sig = signature(&oracle);
+        for mode in [
+            PortfolioMode::Strategies,
+            PortfolioMode::ReuseRegimes,
+            PortfolioMode::Full,
+        ] {
+            for jobs in [1usize, 2, 4] {
+                let race = run_portfolio(&problem, &base, mode, jobs);
+                assert_signatures_match(
+                    &oracle_sig,
+                    &signature(&race.run),
+                    &race.run,
+                    &problem,
+                    &format!("portfolio-{}", mode.label()),
+                    jobs,
+                )?;
+            }
+        }
+    }
+}
