@@ -20,11 +20,16 @@
 //!
 //! ```text
 //! parallel_sweep [DIR] [--smoke] [--depth N] [--jobs-list 1,2,4]
-//!                [--shard by-property|by-depth]
+//!                [--shard by-property|by-depth] [--no-preprocess]
 //!                [--modes deterministic,striped,work-stealing,portfolio]
 //!                [--jobs N] [--repeat N]
 //!                [--json-out PATH | --no-json]
 //! ```
+//!
+//! `--no-preprocess` turns off the engine's structural preprocessing in
+//! every configuration of the sweep (the cross-checks then compare raw
+//! engines against raw engines); by default all configurations run the
+//! reduced model, like `rbmc` does.
 //!
 //! With `--modes`, the binary switches from the jobs sweep to the **relaxed
 //! mode comparison** (`BENCH_relaxed.json`): every listed dispatch mode
@@ -155,6 +160,7 @@ fn mode_sweep(
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke" || a == "--small");
+    let preprocess = !args.iter().any(|a| a == "--no-preprocess");
     let depth: usize = flag_value(&args, "--depth")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 10 } else { 20 });
@@ -314,6 +320,7 @@ fn main() -> ExitCode {
         let base = BmcOptions {
             max_depth: depth,
             strategy: OrderingStrategy::RefinedDynamic { divisor: 64 },
+            preprocess,
             ..BmcOptions::default()
         };
         println!(
@@ -414,6 +421,7 @@ fn main() -> ExitCode {
         let options = BmcOptions {
             max_depth: depth,
             strategy: OrderingStrategy::RefinedDynamic { divisor: 64 },
+            preprocess,
             parallel: (engine_jobs > 1).then_some(ParallelConfig {
                 jobs: engine_jobs,
                 shard,

@@ -17,7 +17,7 @@
 //! rbmc [DIR] [--export-corpus DIR] [--depth N] [--reuse fresh|session]
 //!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--jobs N]
 //!      [--shard by-property|by-depth|striped|work-stealing]
-//!      [--relaxed] [--deterministic]
+//!      [--relaxed] [--deterministic] [--no-preprocess]
 //!      [--portfolio] [--portfolio-mode strategies|reuse|full]
 //!      [--selfcheck] [--smoke]
 //!      [--witness-dir DIR] [--json-out PATH | --no-json]
@@ -49,12 +49,21 @@
 //!   (first verdict wins, losers cancelled); `--portfolio-mode` picks the
 //!   roster axis (strategies, reuse regimes, or the full product).
 //! - `--selfcheck` is the differential harness: the main run, the
-//!   *opposite* solver-reuse regime, both deterministic parallel grains,
+//!   *opposite* solver-reuse regime, the *opposite* preprocessing regime,
+//!   both deterministic parallel grains,
 //!   and both relaxed grains must agree on every property's per-depth
 //!   verdict sequence, and every property is additionally re-checked with
 //!   fresh-per-depth single-property runs ([`SolverReuse::Fresh`]). **All**
 //!   mismatching properties across all modes are reported before the
 //!   non-zero exit — a failure names every offender, not just the first.
+//! - `--no-preprocess` turns off the engine's structural preprocessing
+//!   ([`rbmc_core::preprocess_problem`]) and solves the netlist as given.
+//!   Verdicts are identical either way (the selfcheck harness cross-checks
+//!   the two regimes against each other); the flag exists to measure the
+//!   reduction and to reproduce raw-engine behavior. With preprocessing on,
+//!   witness positions for latches/inputs outside every property's cone
+//!   print as `x` (their value is irrelevant; the validated trace replays
+//!   them at the declared reset value / `false`).
 //! - `--smoke` shrinks the export to the small suite and the default depth
 //!   bound to 10 (CI mode).
 //!
@@ -70,10 +79,12 @@ use std::time::Instant;
 
 use rbmc_bench::{BenchCase, BenchReport};
 use rbmc_circuit::aiger::parse_aiger;
+use rbmc_circuit::coi::registers_in_cone;
 use rbmc_circuit::Aig;
 use rbmc_core::{
-    BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig, PortfolioMode, ProblemBuilder,
-    PropertyVerdict, ShardMode, SolveResult, SolverReuse, Trace, VerificationProblem,
+    preprocess_problem, BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig,
+    PortfolioMode, PreprocessedProblem, ProblemBuilder, PropertyVerdict, ShardMode, SolveResult,
+    SolverReuse, Trace, VerificationProblem,
 };
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -98,18 +109,46 @@ fn parse_strategy(args: &[String], divisor: u32) -> OrderingStrategy {
 
 /// Renders one property's HWMCC-style result block: `1` + witness + `.` for
 /// a counterexample, `2` for a property the bounded sweep leaves open.
-fn witness_text(prop_index: usize, verdict: &PropertyVerdict, trace: Option<&Trace>) -> String {
+///
+/// `dontcare` (latch mask, input mask) marks positions outside every
+/// property's structural cone: they print as `x` in the AIGER witness
+/// convention. The trace itself — the one the soundness gates replayed —
+/// carries concrete defaults at exactly those positions (declared reset for
+/// latches, `false` for inputs), so any reader resolving `x` to those
+/// defaults reproduces the validated replay.
+fn witness_text(
+    prop_index: usize,
+    verdict: &PropertyVerdict,
+    trace: Option<&Trace>,
+    dontcare: Option<(&[bool], &[bool])>,
+) -> String {
     let mut out = String::new();
     match verdict {
         PropertyVerdict::Falsified { .. } => {
             let trace = trace.expect("falsified verdict carries a trace");
             out.push_str("1\n");
             out.push_str(&format!("b{prop_index}\n"));
-            let bits =
-                |v: &[bool]| -> String { v.iter().map(|&b| if b { '1' } else { '0' }).collect() };
-            out.push_str(&format!("{}\n", bits(trace.initial_state())));
+            let bits = |v: &[bool], mask: Option<&[bool]>| -> String {
+                v.iter()
+                    .enumerate()
+                    .map(|(i, &b)| {
+                        if mask.is_some_and(|m| m.get(i).copied().unwrap_or(false)) {
+                            'x'
+                        } else if b {
+                            '1'
+                        } else {
+                            '0'
+                        }
+                    })
+                    .collect()
+            };
+            let (latch_mask, input_mask) = match dontcare {
+                Some((latches, inputs)) => (Some(latches), Some(inputs)),
+                None => (None, None),
+            };
+            out.push_str(&format!("{}\n", bits(trace.initial_state(), latch_mask)));
             for frame in trace.inputs() {
-                out.push_str(&format!("{}\n", bits(frame)));
+                out.push_str(&format!("{}\n", bits(frame, input_mask)));
             }
             out.push_str(".\n");
         }
@@ -271,6 +310,11 @@ fn check_file(
         ));
     }
     let problem = builder.build();
+    // The preprocessing view of the file: shape report for the log line and
+    // BENCH extras, don't-care masks for witness `x` positions. Computed
+    // here (the pass is deterministic, so this matches what the engine does
+    // internally) because the portfolio path never exposes its engines.
+    let pp: Option<PreprocessedProblem> = options.preprocess.then(|| preprocess_problem(&problem));
     let wall = Instant::now();
     let (run, race) = match portfolio {
         Some((mode, jobs)) => {
@@ -306,6 +350,37 @@ fn check_file(
             race.members[race.winner].time.as_secs_f64(),
             race.members.len(),
             if race.members.len() == 1 { "" } else { "s" },
+        );
+    }
+    // The netlist-vs-cone shape line: how much of the file the union of the
+    // property cones actually uses, and what the engine encoded after
+    // sweeping/hashing when preprocessing is on.
+    let cone_registers = registers_in_cone(
+        problem.netlist(),
+        &problem
+            .properties()
+            .iter()
+            .map(|p| p.bad())
+            .collect::<Vec<_>>(),
+    );
+    if let Some(pp) = &pp {
+        let _ = writeln!(
+            out,
+            "  cone: {cone_registers}/{} registers; encoded {} registers / {} gates \
+             ({} swept, {} dropped, {} inputs dropped, {} gates hashed)",
+            problem.netlist().num_latches(),
+            pp.report.after.latches,
+            pp.report.after.gates,
+            pp.report.swept_latches,
+            pp.report.dropped_latches,
+            pp.report.dropped_inputs,
+            pp.report.hashed_gates,
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  cone: {cone_registers}/{} registers (preprocessing off)",
+            problem.netlist().num_latches(),
         );
     }
     for (idx, prop_report) in run.properties.iter().enumerate() {
@@ -344,7 +419,11 @@ fn check_file(
             }
             _ => None,
         };
-        let text = witness_text(idx, &prop_report.verdict, trace);
+        let dontcare = pp
+            .as_ref()
+            .filter(|pp| !pp.lift.is_identity())
+            .map(|pp| (pp.lift.dontcare_latches(), pp.lift.dontcare_inputs()));
+        let text = witness_text(idx, &prop_report.verdict, trace, dontcare);
         if let Some(dir) = witness_dir {
             let wpath = dir.join(format!("{stem}.b{idx}.wit"));
             std::fs::write(&wpath, &text).map_err(|e| format!("{}: {e}", wpath.display()))?;
@@ -374,7 +453,36 @@ fn check_file(
                 "learned_retained".into(),
                 run.solver_stats.learned_retained as f64,
             ),
+            // Netlist-vs-cone sizes: this property's own cone against the
+            // file's register total, plus the space high-water marks of the
+            // run (shared by all of the file's properties).
+            (
+                "registers_in_cone".into(),
+                registers_in_cone(problem.netlist(), &[problem.property(idx).bad()]) as f64,
+            ),
+            (
+                "registers_netlist".into(),
+                problem.netlist().num_latches() as f64,
+            ),
+            (
+                "arena_peak_bytes".into(),
+                run.solver_stats.arena_peak_bytes as f64,
+            ),
+            (
+                "prefix_peak_clauses".into(),
+                run.solver_stats.prefix_peak_clauses as f64,
+            ),
+            (
+                "rank_peak_entries".into(),
+                run.solver_stats.rank_peak_entries as f64,
+            ),
         ];
+        if let Some(pp) = &pp {
+            extra.push(("registers_encoded".into(), pp.report.after.latches as f64));
+            extra.push(("gates_encoded".into(), pp.report.after.gates as f64));
+            extra.push(("swept_latches".into(), pp.report.swept_latches as f64));
+            extra.push(("dropped_latches".into(), pp.report.dropped_latches as f64));
+        }
         if !run.workers.is_empty() {
             // Per-worker dispatch stats of the engine-level parallel run.
             extra.push(("par_workers".into(), run.workers.len() as f64));
@@ -442,6 +550,25 @@ fn check_file(
             },
             other_reuse.label(),
         );
+        // The preprocessing differential: the opposite regime (raw netlist
+        // vs structurally reduced) must reproduce the per-depth verdicts
+        // exactly — the reduction is behavior-preserving for every
+        // property's bad signal, so a divergence is an engine bug.
+        mismatches.extend(cross_check(
+            &stem,
+            &problem,
+            &run,
+            &BmcOptions {
+                preprocess: !options.preprocess,
+                parallel: None,
+                ..*options
+            },
+            if options.preprocess {
+                "preprocessing off"
+            } else {
+                "preprocessing on"
+            },
+        ));
         for shard in [
             ShardMode::ByProperty,
             ShardMode::ByDepth,
@@ -497,7 +624,8 @@ fn check_file(
         }
         let _ = writeln!(
             out,
-            "  selfcheck: verdicts match across fresh/session/parallel/relaxed runs"
+            "  selfcheck: verdicts match across fresh/session/parallel/relaxed runs \
+             and both preprocessing regimes"
         );
     }
     Ok(())
@@ -522,6 +650,7 @@ fn main() -> ExitCode {
         .max(1);
     let relaxed = args.iter().any(|a| a == "--relaxed");
     let deterministic = args.iter().any(|a| a == "--deterministic");
+    let no_preprocess = args.iter().any(|a| a == "--no-preprocess");
     let portfolio_flag = args.iter().any(|a| a == "--portfolio");
     let portfolio_mode = match flag_value(&args, "--portfolio-mode") {
         None => PortfolioMode::default(),
@@ -637,7 +766,7 @@ fn main() -> ExitCode {
             "usage: rbmc [DIR] [--export-corpus DIR] [--depth N] \
              [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
              [--jobs N] [--shard by-property|by-depth|striped|work-stealing] \
-             [--relaxed] [--deterministic] \
+             [--relaxed] [--deterministic] [--no-preprocess] \
              [--portfolio] [--portfolio-mode strategies|reuse|full] \
              [--selfcheck] [--smoke] [--witness-dir DIR] [--json-out PATH | --no-json]"
         );
@@ -696,6 +825,7 @@ fn main() -> ExitCode {
         max_depth: depth,
         strategy,
         reuse,
+        preprocess: !no_preprocess,
         // A portfolio race runs each member sequentially — the race is the
         // parallelism.
         parallel: (!portfolio_flag && (engine_jobs > 1 || engine_forced)).then_some(
@@ -779,8 +909,22 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::verdict_mismatches;
+    use super::{verdict_mismatches, witness_text};
     use rbmc_core::SolveResult::{Sat, Unsat};
+    use rbmc_core::{PropertyVerdict, Trace};
+
+    #[test]
+    fn witness_text_prints_x_at_dontcare_positions_only() {
+        let trace = Trace::from_parts(vec![false, true], vec![vec![true], vec![false]]);
+        let verdict = PropertyVerdict::Falsified {
+            depth: 1,
+            trace: trace.clone(),
+        };
+        let masked = witness_text(0, &verdict, Some(&trace), Some((&[false, true], &[true])));
+        assert_eq!(masked, "1\nb0\n0x\nx\nx\n.\n");
+        let plain = witness_text(0, &verdict, Some(&trace), None);
+        assert_eq!(plain, "1\nb0\n01\n1\n0\n.\n");
+    }
 
     #[test]
     fn verdict_mismatches_reports_every_offender_not_just_the_first() {

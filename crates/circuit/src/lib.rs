@@ -11,6 +11,9 @@
 //! - [`sim`]: a cycle-accurate two-valued simulator, used as the test oracle
 //!   and to replay BMC counterexample traces.
 //! - [`coi`]: cone-of-influence analysis and reduction.
+//! - [`preprocess`]: the engine-path structural pass — constant sweeping,
+//!   structural hashing, and COI restriction to a fixpoint, with maps for
+//!   lifting traces back to original coordinates.
 //! - [`Aig`]: an and-inverter-graph form with structural hashing, plus
 //!   lowering from [`Netlist`].
 //! - [`blif`] and [`aiger`]: readers/writers for the two interchange formats
@@ -41,6 +44,7 @@
 pub mod aiger;
 pub mod blif;
 pub mod coi;
+pub mod preprocess;
 pub mod sim;
 pub mod stats;
 

@@ -42,7 +42,11 @@ use rbmc_cnf::Lit;
 use rbmc_solver::{CancelFlag, Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
 
 use crate::parallel::{self, ParallelConfig, WorkerReport};
-use crate::{shtrichman_rank, Model, Trace, Unroller, VarRank, VerificationProblem, Weighting};
+use crate::preprocess::preprocess_problem;
+use crate::{
+    shtrichman_rank, Model, Trace, TraceLift, Unroller, VarRank, VerificationProblem, Weighting,
+};
+use rbmc_circuit::preprocess::PreprocessReport;
 
 /// Which decision-ordering scheme `sat_check` uses (§3.3 plus baselines).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -137,6 +141,14 @@ pub struct BmcOptions {
     /// overhead measurements of §3.1; off by default to keep the baseline
     /// honest).
     pub force_record_cdg: bool,
+    /// Structurally preprocess the problem before solving (on by default):
+    /// constant sweeping, structural hashing, and restriction to the union
+    /// of the properties' cones of influence
+    /// ([`preprocess_problem`](crate::preprocess_problem)). Verdicts,
+    /// retirement depths, and (lifted) traces are identical to the raw
+    /// engine's; every removed node shrinks every frame of the unrolling.
+    /// Turn off for differential testing against the raw encoding.
+    pub preprocess: bool,
     /// Prune the session solver's conflict dependency graph at each depth
     /// boundary ([`Solver::prune_cdg`]), bounding the CDG's growth over a
     /// deep sweep. On by default; the ablation tests turn it off to measure
@@ -164,6 +176,7 @@ impl Default for BmcOptions {
             max_conflicts_per_depth: None,
             deadline: None,
             force_record_cdg: false,
+            preprocess: true,
             cdg_prune: true,
             parallel: None,
         }
@@ -435,7 +448,16 @@ impl PropState {
 /// AIGER/HWMCC front door). See the [crate docs](crate) for a complete
 /// example.
 pub struct BmcEngine {
+    /// The working model the solver sees (preprocessed when
+    /// [`BmcOptions::preprocess`] is on).
     model: Model,
+    /// The problem as given, when preprocessing rebuilt it (`None` means the
+    /// working model *is* the original).
+    original: Option<Model>,
+    /// Trace map from working to original coordinates.
+    lift: Option<TraceLift>,
+    /// Shape accounting of the preprocessing pass.
+    pp_report: Option<PreprocessReport>,
     options: BmcOptions,
     rank: VarRank,
     per_depth: Vec<DepthStats>,
@@ -455,10 +477,28 @@ impl fmt::Debug for BmcEngine {
 
 impl BmcEngine {
     /// Creates an engine for a single-property `model` with the given
-    /// options.
+    /// options. With [`BmcOptions::preprocess`] on (the default) the model
+    /// is structurally reduced here, once, before any encoding — the
+    /// parallel and portfolio dispatch layers all clone the engine's working
+    /// model, so they inherit the reduction.
     pub fn new(model: Model, options: BmcOptions) -> BmcEngine {
+        let (model, original, lift, pp_report) = if options.preprocess {
+            let problem = model.into_problem();
+            let pp = preprocess_problem(&problem);
+            (
+                Model::from_problem(pp.problem),
+                Some(Model::from_problem(problem)),
+                Some(pp.lift),
+                Some(pp.report),
+            )
+        } else {
+            (model, None, None, None)
+        };
         BmcEngine {
             model,
+            original,
+            lift,
+            pp_report,
             options,
             rank: VarRank::new(options.weighting),
             per_depth: Vec::new(),
@@ -473,15 +513,38 @@ impl BmcEngine {
         BmcEngine::new(Model::from_problem(problem), options)
     }
 
-    /// The model under check (the single-property view of the problem; its
-    /// `bad()` is the primary property).
+    /// The model under check **as given** (the single-property view of the
+    /// problem; its `bad()` is the primary property). Traces the engine
+    /// returns are in this model's coordinates, whether or not
+    /// preprocessing reduced the working copy.
     pub fn model(&self) -> &Model {
+        self.original.as_ref().unwrap_or(&self.model)
+    }
+
+    /// The working model the solver actually encodes: the preprocessed
+    /// reduction when [`BmcOptions::preprocess`] is on (and changed
+    /// anything), otherwise the model as given. Its netlist sizes are the
+    /// ones per-depth CNF statistics refer to.
+    pub fn working_model(&self) -> &Model {
         &self.model
     }
 
-    /// The full problem under check.
+    /// The full problem under check, as given.
     pub fn problem(&self) -> &VerificationProblem {
-        self.model.problem()
+        self.model().problem()
+    }
+
+    /// Shape accounting of the preprocessing pass (`None` when
+    /// [`BmcOptions::preprocess`] is off).
+    pub fn preprocess_report(&self) -> Option<&PreprocessReport> {
+        self.pp_report.as_ref()
+    }
+
+    /// The trace map from working to original coordinates (`None` when
+    /// preprocessing is off). Witness printers use its don't-care masks to
+    /// emit `x` for state no property can observe.
+    pub fn trace_lift(&self) -> Option<&TraceLift> {
+        self.lift.as_ref()
     }
 
     /// The accumulated `varRank` (inspect after a run).
@@ -515,9 +578,35 @@ impl BmcEngine {
     /// is dispatched onto a scoped worker pool instead (see
     /// [`ParallelConfig`] for the determinism contract).
     pub fn run_collecting(&mut self) -> BmcRun {
-        if let Some(config) = self.options.parallel {
-            return parallel::run_parallel(self, config);
+        let mut run = if let Some(config) = self.options.parallel {
+            parallel::run_parallel(self, config)
+        } else {
+            self.run_sequential()
+        };
+        // Peak varRank storage. The table only ever shrinks on a
+        // LastOnly-weighting reset, whose next update immediately refills it
+        // with the newest core, so the post-run size is the high-water mark.
+        let stats = &mut run.solver_stats;
+        stats.rank_peak_entries = stats.rank_peak_entries.max(self.rank.num_entries() as u64);
+        stats.rank_peak_bytes = stats.rank_peak_bytes.max(self.rank.approx_bytes() as u64);
+        // Lift traces out of the working model's coordinates: callers only
+        // ever see the problem they posed.
+        if let Some(lift) = self.lift.as_ref().filter(|l| !l.is_identity()) {
+            if let BmcOutcome::Counterexample { trace, .. } = &mut run.outcome {
+                *trace = lift.lift(trace);
+            }
+            for prop in &mut run.properties {
+                if let PropertyVerdict::Falsified { trace, .. } = &mut prop.verdict {
+                    *trace = lift.lift(trace);
+                }
+            }
         }
+        run
+    }
+
+    /// The inline (non-parallel) loop of Fig. 5, in working-model
+    /// coordinates — [`BmcEngine::run_collecting`] lifts its traces.
+    fn run_sequential(&mut self) -> BmcRun {
         let run_start = Instant::now();
         let unroller = Unroller::new(&self.model);
         let mut props: Vec<PropState> = self
@@ -551,6 +640,12 @@ impl BmcEngine {
                         solver.add_clause(clause.lits());
                     }
                 });
+                // Bounded prefix mode: the persistent solver now holds this
+                // frame for the rest of the run, so the cache copy is pure
+                // duplication — drop it and keep the cache at one frame
+                // instead of `max_depth`. (Fresh-per-depth runs reload the
+                // whole prefix per episode and never retire.)
+                unroller.retire_frames_through(k);
             }
             let mut depth = DepthStats {
                 depth: k,
@@ -697,6 +792,7 @@ impl BmcEngine {
         if let Some(solver) = session.as_ref() {
             aggregate = solver.stats().clone();
         }
+        aggregate.prefix_peak_clauses = unroller.peak_cached_clauses() as u64;
         let outcome = match (resource_out, first_falsified) {
             // A definite counterexample outranks a later budget exhaustion:
             // the summary keeps its documented meaning (some property fails),
@@ -757,7 +853,7 @@ impl BmcEngine {
     fn install_ranking(&self, solver: &mut Solver, unroller: &Unroller<'_>, k: usize) {
         install_strategy_ranking(
             self.options.strategy,
-            self.rank.as_slice(),
+            &self.rank.snapshot(),
             solver,
             unroller,
             k,

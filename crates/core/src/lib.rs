@@ -40,6 +40,12 @@
 //!   from the union of the open properties' cores.
 //! - [`Trace`]: counterexample extraction and replay validation on the
 //!   circuit simulator.
+//! - [`preprocess_problem`] / [`TraceLift`]: engine-path structural
+//!   preprocessing — constant sweeping, structural hashing, and restriction
+//!   to the union of the properties' cones of influence — with trace lifting
+//!   back to original coordinates. On by default
+//!   ([`BmcOptions::preprocess`]); every node removed is removed from every
+//!   frame of the unrolling.
 //! - [`oracle`]: an explicit-state BFS reachability checker used as ground
 //!   truth in tests.
 //! - [`induction`]: a k-induction prover built on the same unroller (the
@@ -85,6 +91,7 @@ mod engine;
 mod model;
 mod parallel;
 mod portfolio;
+mod preprocess;
 mod problem;
 mod ranking;
 mod relaxed;
@@ -103,6 +110,7 @@ pub use parallel::{striped_map, ParallelConfig, ShardMode, WorkerReport};
 pub use portfolio::{
     run_portfolio, MemberReport, MemberState, PortfolioMember, PortfolioMode, PortfolioRun,
 };
+pub use preprocess::{preprocess_problem, PreprocessedProblem, TraceLift};
 pub use problem::{FromAigerError, ProblemBuilder, Property, VerificationProblem};
 pub use ranking::{VarRank, Weighting};
 pub use rbmc_solver::{CancelFlag, SolveResult};

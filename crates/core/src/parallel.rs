@@ -402,7 +402,7 @@ fn run_by_property(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
     let run_start = Instant::now();
     let options = *engine.opts();
     let cancel = engine.cancel_flag().cloned();
-    let model = engine.model().clone();
+    let model = engine.working_model().clone();
     let num_props = model.problem().num_properties();
     let unroller = Unroller::new(&model);
 
@@ -520,7 +520,13 @@ fn run_property_session(
         }
         let act = BmcEngine::activation_lit(&unroller, options, 1, k, 0);
         solver.add_clause(&[!act, unroller.lit_of(prop.bad, k)]);
-        install_strategy_ranking(options.strategy, rank.as_slice(), &mut solver, &unroller, k);
+        install_strategy_ranking(
+            options.strategy,
+            &rank.snapshot(),
+            &mut solver,
+            &unroller,
+            k,
+        );
         let result = solver.solve_under_limited(&[act], &limits);
 
         let stats = solver.stats();
@@ -591,7 +597,7 @@ fn run_by_depth(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
     let run_start = Instant::now();
     let options = *engine.opts();
     let cancel = engine.cancel_flag().cloned();
-    let model = engine.model().clone();
+    let model = engine.working_model().clone();
     let unroller = Unroller::new(&model);
     let bads: Vec<_> = model
         .problem()
@@ -719,10 +725,17 @@ fn run_depth_wavefront(
         if open.is_empty() {
             break;
         }
-        let rank_slice = rank.as_slice();
+        let rank_snapshot = rank.snapshot();
         let mut episodes = striped_dispatch(open.len(), jobs, workers, |i| {
-            let episode =
-                run_fresh_episode(model, options, prefix, cancel, rank_slice, bads[open[i]], k);
+            let episode = run_fresh_episode(
+                model,
+                options,
+                prefix,
+                cancel,
+                &rank_snapshot,
+                bads[open[i]],
+                k,
+            );
             let share = WorkerShare::of_episode(&episode);
             Some((episode, share))
         });
@@ -951,6 +964,11 @@ pub(crate) fn merge_committed(
     for group in &groups {
         aggregate.accumulate(&group.stats);
     }
+    // Parallel runs eagerly encode the whole shared prefix, so the cache
+    // peak is its full size (bounded prefix mode is sequential-session-only).
+    aggregate.prefix_peak_clauses = aggregate
+        .prefix_peak_clauses
+        .max(unroller.peak_cached_clauses() as u64);
     let outcome = match (resource_out, first_falsified) {
         (_, Some((_, p))) => {
             let (depth, trace) = groups[p]
@@ -1027,7 +1045,7 @@ mod tests {
             },
         );
         let run = engine.run_collecting();
-        (run, engine.rank().as_slice().to_vec())
+        (run, engine.rank().snapshot())
     }
 
     type Signature = Vec<(Vec<SolveResult>, Option<usize>)>;

@@ -12,6 +12,8 @@
 //! while no single core is trusted exclusively. The [`Weighting::Uniform`]
 //! and [`Weighting::LastOnly`] variants exist for the ablation benches.
 
+use std::collections::HashMap;
+
 use rbmc_cnf::Var;
 
 /// How core membership at each depth contributes to `bmc_score` (§3.2).
@@ -43,11 +45,43 @@ impl Weighting {
     }
 }
 
+/// How [`VarRank`] physically stores scores.
+///
+/// Cores cite a small fraction of a deep unrolling's variables, so a dense
+/// `Vec<u64>` indexed by variable (linear in `depth × netlist`) wastes most
+/// of its length on zeros. The table therefore starts as a hash map of only
+/// the non-zero entries and **promotes itself to dense storage** when the
+/// occupancy crosses [`DENSE_PROMOTION_DIVISOR`] (at that density the flat
+/// array is both smaller and faster). The representation is an internal
+/// detail: every observable ([`VarRank::score`], [`VarRank::snapshot`], …)
+/// is identical in both forms, and [`Weighting::LastOnly`] — which clears
+/// the table on every update — resets to the sparse form each time.
+#[derive(Clone, Debug)]
+enum RankStore {
+    /// Only non-zero entries, keyed by variable index.
+    Sparse(HashMap<usize, u64>),
+    /// Flat array indexed by variable (the original representation).
+    Dense(Vec<u64>),
+}
+
+impl Default for RankStore {
+    fn default() -> RankStore {
+        RankStore::Sparse(HashMap::new())
+    }
+}
+
+/// Promote sparse → dense when more than `1/DENSE_PROMOTION_DIVISOR` of the
+/// index range is occupied: beyond that a flat `u64` array is smaller than
+/// the hash map's per-entry overhead.
+const DENSE_PROMOTION_DIVISOR: usize = 4;
+
 /// The mutable `varRank` list of Fig. 5.
 ///
 /// Indexed by the frame-stable CNF variables of the
 /// [`Unroller`](crate::Unroller); grows on demand as deeper instances add
-/// variables.
+/// variables. Storage is sparse until the table fills up (see
+/// [`VarRank::is_sparse`]), so a deep unrolling whose cores touch few
+/// variables costs memory proportional to the cores, not the encoding.
 ///
 /// # Examples
 ///
@@ -65,7 +99,10 @@ impl Weighting {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct VarRank {
-    scores: Vec<u64>,
+    store: RankStore,
+    /// One past the highest variable index ever credited (the length the
+    /// dense form has / would have).
+    len: usize,
     weighting: Weighting,
     updates: usize,
 }
@@ -74,7 +111,8 @@ impl VarRank {
     /// Creates an empty ranking.
     pub fn new(weighting: Weighting) -> VarRank {
         VarRank {
-            scores: Vec::new(),
+            store: RankStore::default(),
+            len: 0,
             weighting,
             updates: 0,
         }
@@ -93,15 +131,34 @@ impl VarRank {
             Weighting::Linear => depth as u64 + 1,
             Weighting::Uniform => 1,
             Weighting::LastOnly => {
-                self.scores.clear();
+                self.store = RankStore::default();
+                self.len = 0;
                 1
             }
         };
         for &v in core_vars {
-            if v.index() >= self.scores.len() {
-                self.scores.resize(v.index() + 1, 0);
+            let index = v.index();
+            self.len = self.len.max(index + 1);
+            match &mut self.store {
+                RankStore::Sparse(map) => {
+                    *map.entry(index).or_insert(0) += weight;
+                }
+                RankStore::Dense(scores) => {
+                    if index >= scores.len() {
+                        scores.resize(index + 1, 0);
+                    }
+                    scores[index] += weight;
+                }
             }
-            self.scores[v.index()] += weight;
+        }
+        if let RankStore::Sparse(map) = &self.store {
+            if map.len() * DENSE_PROMOTION_DIVISOR >= self.len && self.len > 0 {
+                let mut scores = vec![0u64; self.len];
+                for (&index, &score) in map.iter() {
+                    scores[index] = score;
+                }
+                self.store = RankStore::Dense(scores);
+            }
         }
         self.updates += 1;
     }
@@ -129,14 +186,31 @@ impl VarRank {
 
     /// The accumulated `bmc_score` of a variable.
     pub fn score(&self, var: Var) -> u64 {
-        self.scores.get(var.index()).copied().unwrap_or(0)
+        match &self.store {
+            RankStore::Sparse(map) => map.get(&var.index()).copied().unwrap_or(0),
+            RankStore::Dense(scores) => scores.get(var.index()).copied().unwrap_or(0),
+        }
     }
 
-    /// The score table as a slice (what
+    /// A dense copy of the score table (what
     /// [`Solver::set_var_ranking`](rbmc_solver::Solver::set_var_ranking)
-    /// consumes). Variables beyond the end score 0.
-    pub fn as_slice(&self) -> &[u64] {
-        &self.scores
+    /// consumes), of length one past the highest credited variable.
+    /// Variables beyond the end score 0.
+    pub fn snapshot(&self) -> Vec<u64> {
+        match &self.store {
+            RankStore::Sparse(map) => {
+                let mut scores = vec![0u64; self.len];
+                for (&index, &score) in map.iter() {
+                    scores[index] = score;
+                }
+                scores
+            }
+            RankStore::Dense(scores) => {
+                let mut scores = scores.clone();
+                scores.resize(self.len, 0);
+                scores
+            }
+        }
     }
 
     /// Number of `update` calls so far (i.e. UNSAT instances consumed).
@@ -146,7 +220,35 @@ impl VarRank {
 
     /// Number of variables with a non-zero score.
     pub fn num_ranked(&self) -> usize {
-        self.scores.iter().filter(|&&s| s > 0).count()
+        match &self.store {
+            RankStore::Sparse(map) => map.len(),
+            RankStore::Dense(scores) => scores.iter().filter(|&&s| s > 0).count(),
+        }
+    }
+
+    /// Number of score entries physically stored (the space the table
+    /// occupies: hash entries when sparse, array length when dense).
+    pub fn num_entries(&self) -> usize {
+        match &self.store {
+            RankStore::Sparse(map) => map.len(),
+            RankStore::Dense(scores) => scores.len(),
+        }
+    }
+
+    /// Approximate heap footprint of the table in bytes (a stats metric,
+    /// not an allocator measurement: hash entries are costed at
+    /// key + value + bucket overhead, dense entries at one `u64`).
+    pub fn approx_bytes(&self) -> usize {
+        match &self.store {
+            // usize key + u64 value + ~half again for bucket overhead.
+            RankStore::Sparse(map) => map.len() * 24,
+            RankStore::Dense(scores) => scores.len() * 8,
+        }
+    }
+
+    /// Whether the table is currently in its sparse (hash) form.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.store, RankStore::Sparse(_))
     }
 
     /// The weighting scheme in use.
@@ -203,11 +305,64 @@ mod tests {
         // One update, each variable credited once, with the depth-1 weight.
         let mut reference = VarRank::new(Weighting::Linear);
         reference.update(&vars(&[0, 2, 3]), 1);
-        assert_eq!(merged.as_slice(), reference.as_slice());
+        assert_eq!(merged.snapshot(), reference.snapshot());
         assert_eq!(merged.num_updates(), 1);
         // An empty union applies no update at all.
         assert_eq!(merged.update_union([], 2), 0);
         assert_eq!(merged.num_updates(), 1);
+    }
+
+    #[test]
+    fn sparse_store_promotes_to_dense_by_density() {
+        // A single far-out variable keeps the table sparse…
+        let mut rank = VarRank::new(Weighting::Linear);
+        rank.update(&vars(&[9999]), 0);
+        assert!(rank.is_sparse());
+        assert_eq!(rank.num_entries(), 1);
+        assert_eq!(rank.snapshot().len(), 10_000);
+        // …while a dense block of credits crosses the promotion threshold.
+        let mut rank = VarRank::new(Weighting::Linear);
+        let block: Vec<Var> = (0..64).map(Var::new).collect();
+        rank.update(&block, 0);
+        assert!(!rank.is_sparse());
+        assert_eq!(rank.num_entries(), 64);
+        assert_eq!(rank.num_ranked(), 64);
+    }
+
+    #[test]
+    fn sparse_and_dense_forms_agree_on_every_observable() {
+        // Same update batch; one table driven over the promotion threshold
+        // first, the other kept sparse. Scores and snapshots must agree
+        // with a plain dense reference regardless of representation.
+        let batch = update_batch();
+        let mut reference: Vec<u64> = Vec::new();
+        let mut rank = VarRank::new(Weighting::Linear);
+        for (core, depth) in &batch {
+            rank.update(core, *depth);
+            for v in core {
+                if v.index() >= reference.len() {
+                    reference.resize(v.index() + 1, 0);
+                }
+                reference[v.index()] += *depth as u64 + 1;
+            }
+        }
+        assert_eq!(rank.snapshot(), reference);
+        for (i, &score) in reference.iter().enumerate() {
+            assert_eq!(rank.score(Var::new(i)), score);
+        }
+        assert!(rank.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn last_only_resets_to_sparse() {
+        let mut rank = VarRank::new(Weighting::LastOnly);
+        let block: Vec<Var> = (0..64).map(Var::new).collect();
+        rank.update(&block, 0);
+        assert!(!rank.is_sparse(), "dense after a full block");
+        rank.update(&vars(&[70_000]), 1);
+        assert!(rank.is_sparse(), "cleared table restarts sparse");
+        assert_eq!(rank.num_entries(), 1);
+        assert_eq!(rank.score(Var::new(3)), 0);
     }
 
     #[test]
@@ -265,8 +420,8 @@ mod tests {
                     rank.update(core, *depth);
                 }
                 assert_eq!(
-                    rank.as_slice(),
-                    reference.as_slice(),
+                    rank.snapshot(),
+                    reference.snapshot(),
                     "{weighting:?} diverged under order {order:?}"
                 );
             }
@@ -286,7 +441,7 @@ mod tests {
         for (core, depth) in &batch {
             reference.update(core, *depth);
         }
-        let reference_seq = rbmc_solver::ranking_decision_order(reference.as_slice(), num_vars);
+        let reference_seq = rbmc_solver::ranking_decision_order(&reference.snapshot(), num_vars);
         assert_eq!(reference_seq.len(), 2 * num_vars);
         for order in permutations(&batch) {
             let mut rank = VarRank::new(Weighting::Linear);
@@ -294,7 +449,7 @@ mod tests {
                 rank.update(core, *depth);
             }
             assert_eq!(
-                rbmc_solver::ranking_decision_order(rank.as_slice(), num_vars),
+                rbmc_solver::ranking_decision_order(&rank.snapshot(), num_vars),
                 reference_seq,
                 "decision sequence diverged under order {order:?}"
             );
@@ -313,6 +468,6 @@ mod tests {
         let mut ba = VarRank::new(Weighting::LastOnly);
         ba.update(&vars(&[1]), 1);
         ba.update(&vars(&[0]), 0);
-        assert_ne!(ab.as_slice(), ba.as_slice());
+        assert_ne!(ab.snapshot(), ba.snapshot());
     }
 }

@@ -96,7 +96,7 @@ pub(crate) fn run_striped(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
     let run_start = Instant::now();
     let options = *engine.opts();
     let cancel = engine.cancel_flag().cloned();
-    let model = engine.model().clone();
+    let model = engine.working_model().clone();
     let num_props = model.problem().num_properties();
     let num_depths = options.max_depth + 1;
     let unroller = Unroller::new(&model);
@@ -214,7 +214,7 @@ fn run_striped_worker(ctx: &StripedCtx<'_, '_>, w: usize) -> StripedOut {
             }
             loaded += 1;
         }
-        let rank_snapshot: Vec<u64> = ctx.rank.lock().expect("rank lock").as_slice().to_vec();
+        let rank_snapshot: Vec<u64> = ctx.rank.lock().expect("rank lock").snapshot();
         install_strategy_ranking(options.strategy, &rank_snapshot, &mut solver, &unroller, k);
         let mut row: Vec<Option<Episode>> = (0..num_props).map(|_| None).collect();
         let mut hit_unknown = false;
@@ -350,7 +350,7 @@ pub(crate) fn run_work_stealing(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
     let run_start = Instant::now();
     let options = *engine.opts();
     let cancel = engine.cancel_flag().cloned();
-    let model = engine.model().clone();
+    let model = engine.working_model().clone();
     let num_props = model.problem().num_properties();
     let unroller = Unroller::new(&model);
     // More workers than property sessions would only spin on empty deques:
@@ -491,7 +491,7 @@ fn advance_task(
     let act = BmcEngine::activation_lit(unroller, options, 1, k, 0);
     task.solver
         .add_clause(&[!act, unroller.lit_of(task.group.prop.bad, k)]);
-    let rank_snapshot: Vec<u64> = ctx.rank.lock().expect("rank lock").as_slice().to_vec();
+    let rank_snapshot: Vec<u64> = ctx.rank.lock().expect("rank lock").snapshot();
     install_strategy_ranking(
         options.strategy,
         &rank_snapshot,

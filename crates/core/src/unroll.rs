@@ -29,13 +29,26 @@ use crate::Model;
 
 /// The cached clause prefix: every frame encoded so far, in emission order,
 /// without any bad-state unit clause.
+///
+/// In **bounded prefix mode** (see [`Unroller::retire_frames_through`]) the
+/// clauses of frames already handed to a persistent session solver are
+/// dropped from `formula`; `frame_end` keeps *absolute* clause counts so the
+/// bookkeeping (`num_clauses_at`, delta boundaries) is unaffected, and
+/// `retired_clauses` maps absolute offsets to the retained suffix.
 #[derive(Clone, Default)]
 struct PrefixCache {
-    /// Clauses of frames `0..frame_end.len()`.
+    /// Clauses of frames `retired_frames..frame_end.len()`.
     formula: CnfFormula,
     /// Clause count after each encoded frame: `frame_end[f]` is the number
-    /// of clauses encoding frames `0..=f`.
+    /// of clauses encoding frames `0..=f` (absolute, including retired).
     frame_end: Vec<usize>,
+    /// Frames `0..retired_frames` have been dropped from `formula`.
+    retired_frames: usize,
+    /// Number of dropped clauses (`frame_end[retired_frames - 1]`).
+    retired_clauses: usize,
+    /// Most clauses `formula` ever held at once (the space metric bounded
+    /// prefix mode exists to shrink).
+    peak_clauses: usize,
 }
 
 /// The Eq. 1 encoder (`gen_cnf_formula` in the paper's Fig. 5).
@@ -93,9 +106,10 @@ impl<'a> Unroller<'a> {
         while cache.frame_end.len() <= k {
             let frame = cache.frame_end.len();
             self.emit_frame(frame, &mut cache.formula);
-            let end = cache.formula.num_clauses();
+            let end = cache.retired_clauses + cache.formula.num_clauses();
             cache.frame_end.push(end);
         }
+        cache.peak_clauses = cache.peak_clauses.max(cache.formula.num_clauses());
     }
 
     /// The model being unrolled.
@@ -164,9 +178,22 @@ impl<'a> Unroller<'a> {
     /// unroller (`formula`, `with_prefix`, `with_frame_delta`): the cache is
     /// borrowed for the duration of the call. The pure index arithmetic
     /// (`var_of`, `lit_of`, `num_vars_at`, …) is fine.
+    /// In bounded prefix mode, asking for a prefix that includes retired
+    /// frames falls back to a one-off re-encode of frames `0..=k` (correct,
+    /// but it pays the encoding again — session-style consumers should not
+    /// land here).
     pub fn with_prefix<R>(&self, k: usize, consume: impl FnOnce(Clauses<'_>) -> R) -> R {
         self.ensure_frames(k);
         let cache = self.prefix.borrow();
+        if cache.retired_clauses > 0 {
+            drop(cache);
+            let mut formula = CnfFormula::with_vars(self.num_vars_at(k));
+            for frame in 0..=k {
+                self.emit_frame(frame, &mut formula);
+            }
+            let total = formula.num_clauses();
+            return consume(formula.clauses_in(0..total));
+        }
         consume(cache.formula.clauses_in(0..cache.frame_end[k]))
     }
 
@@ -193,8 +220,21 @@ impl<'a> Unroller<'a> {
     pub fn with_frame_delta<R>(&self, k: usize, consume: impl FnOnce(Clauses<'_>) -> R) -> R {
         self.ensure_frames(k);
         let cache = self.prefix.borrow();
+        if k < cache.retired_frames {
+            // Bounded prefix mode dropped this frame: re-encode it one-off.
+            drop(cache);
+            let mut formula = CnfFormula::with_vars(self.num_vars_at(k));
+            self.emit_frame(k, &mut formula);
+            let total = formula.num_clauses();
+            return consume(formula.clauses_in(0..total));
+        }
+        let base = cache.retired_clauses;
         let start = if k == 0 { 0 } else { cache.frame_end[k - 1] };
-        consume(cache.formula.clauses_in(start..cache.frame_end[k]))
+        consume(
+            cache
+                .formula
+                .clauses_in(start - base..cache.frame_end[k] - base),
+        )
     }
 
     /// Encodes frames `0..=k` and runs `consume` with a [`SharedPrefix`] —
@@ -227,7 +267,53 @@ impl<'a> Unroller<'a> {
         consume(SharedPrefix {
             formula: &cache.formula,
             frame_end: &cache.frame_end,
+            retired_frames: cache.retired_frames,
+            retired_clauses: cache.retired_clauses,
         })
+    }
+
+    /// **Bounded prefix mode**: drops the cached clauses of frames `0..=k`.
+    ///
+    /// A persistent session solver holds every frame it was fed for the rest
+    /// of the run, so once frame `k`'s delta has been appended the cache
+    /// copy is pure duplication — the sequential session engine retires each
+    /// depth after solving it, keeping the cache at one frame instead of
+    /// `max_depth`. Absolute bookkeeping ([`Unroller::num_clauses_at`],
+    /// delta boundaries for later frames) is unaffected; re-reading a
+    /// retired frame ([`Unroller::with_prefix`],
+    /// [`Unroller::with_frame_delta`]) falls back to a one-off re-encode.
+    /// Frames beyond the cache are ignored.
+    pub fn retire_frames_through(&self, k: usize) {
+        let mut cache = self.prefix.borrow_mut();
+        if cache.frame_end.is_empty() {
+            return;
+        }
+        let through = k.min(cache.frame_end.len() - 1);
+        if through < cache.retired_frames {
+            return;
+        }
+        let drop_to = cache.frame_end[through];
+        let local_drop = drop_to - cache.retired_clauses;
+        let total_local = cache.formula.num_clauses();
+        let mut rest = CnfFormula::with_vars(cache.formula.num_vars());
+        for clause in cache.formula.clauses_in(local_drop..total_local) {
+            rest.add_clause(clause);
+        }
+        cache.formula = rest;
+        cache.retired_frames = through + 1;
+        cache.retired_clauses = drop_to;
+    }
+
+    /// Number of clauses currently held by the prefix cache (drops as
+    /// [`Unroller::retire_frames_through`] is applied).
+    pub fn cached_clauses(&self) -> usize {
+        self.prefix.borrow().formula.num_clauses()
+    }
+
+    /// Most clauses the prefix cache ever held at once — the peak-memory
+    /// metric the space-efficient engine reports.
+    pub fn peak_cached_clauses(&self) -> usize {
+        self.prefix.borrow().peak_clauses
     }
 
     /// The unit literal `¬P(V^k)` that turns the frame prefix into `F_k`,
@@ -386,6 +472,8 @@ impl<'a> Unroller<'a> {
 pub struct SharedPrefix<'a> {
     formula: &'a CnfFormula,
     frame_end: &'a [usize],
+    retired_frames: usize,
+    retired_clauses: usize,
 }
 
 impl fmt::Debug for SharedPrefix<'_> {
@@ -402,8 +490,15 @@ impl SharedPrefix<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if frame `k` was not encoded when the view was taken.
+    /// Panics if frame `k` was not encoded when the view was taken, or if
+    /// any covered frame was retired
+    /// ([`Unroller::retire_frames_through`]) — the parallel consumers that
+    /// share prefixes never run in bounded prefix mode.
     pub fn prefix(&self, k: usize) -> Clauses<'_> {
+        assert_eq!(
+            self.retired_frames, 0,
+            "shared prefix reads are incompatible with bounded prefix mode"
+        );
         self.formula.clauses_in(0..self.frame_end[k])
     }
 
@@ -412,10 +507,17 @@ impl SharedPrefix<'_> {
     ///
     /// # Panics
     ///
-    /// Panics if frame `k` was not encoded when the view was taken.
+    /// Panics if frame `k` was not encoded when the view was taken, or was
+    /// retired ([`Unroller::retire_frames_through`]).
     pub fn frame_delta(&self, k: usize) -> Clauses<'_> {
+        assert!(
+            k >= self.retired_frames,
+            "frame {k} was retired from the shared prefix"
+        );
+        let base = self.retired_clauses;
         let start = if k == 0 { 0 } else { self.frame_end[k - 1] };
-        self.formula.clauses_in(start..self.frame_end[k])
+        self.formula
+            .clauses_in(start - base..self.frame_end[k] - base)
     }
 
     /// Number of frames the view covers (frames `0..frames()` are readable).
@@ -580,6 +682,58 @@ mod tests {
                 assert_eq!(concat, expect, "delta concat at depth {k}");
             }
         });
+    }
+
+    #[test]
+    fn bounded_prefix_keeps_deltas_and_bookkeeping_intact() {
+        // Retire frames as a session engine would; later deltas must be
+        // byte-identical to an unretired unroller's, absolute clause counts
+        // must not change, and the peak must reflect the bounded window.
+        let model = counter_model(4, 9);
+        let reference = Unroller::new(&model);
+        let bounded = Unroller::new(&model);
+        let delta_of = |u: &Unroller<'_>, k: usize| -> Vec<Vec<rbmc_cnf::Lit>> {
+            u.with_frame_delta(k, |c| c.iter().map(|cl| cl.lits().to_vec()).collect())
+        };
+        for k in 0..10usize {
+            assert_eq!(delta_of(&bounded, k), delta_of(&reference, k), "depth {k}");
+            assert_eq!(
+                bounded.num_clauses_at(k),
+                reference.num_clauses_at(k),
+                "clause count at depth {k}"
+            );
+            bounded.retire_frames_through(k);
+        }
+        assert_eq!(bounded.cached_clauses(), 0, "everything retired");
+        assert!(bounded.peak_cached_clauses() < reference.cached_clauses());
+        assert_eq!(
+            reference.peak_cached_clauses(),
+            reference.cached_clauses(),
+            "unretired cache peaks at its full size"
+        );
+    }
+
+    #[test]
+    fn bounded_prefix_reencodes_retired_reads() {
+        // Reading a retired frame (prefix or delta) falls back to a one-off
+        // re-encode with identical clauses.
+        let model = counter_model(3, 5);
+        let reference = Unroller::new(&model);
+        let bounded = Unroller::new(&model);
+        bounded.with_frame_delta(4, |_| {});
+        bounded.retire_frames_through(2);
+        for k in 0..=4usize {
+            let expect: Vec<Vec<rbmc_cnf::Lit>> =
+                reference.with_prefix(k, |c| c.iter().map(|cl| cl.lits().to_vec()).collect());
+            let got: Vec<Vec<rbmc_cnf::Lit>> =
+                bounded.with_prefix(k, |c| c.iter().map(|cl| cl.lits().to_vec()).collect());
+            assert_eq!(got, expect, "prefix at depth {k}");
+            let expect_delta: Vec<Vec<rbmc_cnf::Lit>> =
+                reference.with_frame_delta(k, |c| c.iter().map(|cl| cl.lits().to_vec()).collect());
+            let got_delta: Vec<Vec<rbmc_cnf::Lit>> =
+                bounded.with_frame_delta(k, |c| c.iter().map(|cl| cl.lits().to_vec()).collect());
+            assert_eq!(got_delta, expect_delta, "delta at depth {k}");
+        }
     }
 
     #[test]

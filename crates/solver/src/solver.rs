@@ -397,6 +397,16 @@ impl Solver {
             }
         }
         self.num_original = self.original_refs.len();
+        self.note_arena_peak();
+    }
+
+    /// Records the arena's current size into the peak-bytes high-water mark
+    /// (called after every clause allocation; one compare per clause).
+    fn note_arena_peak(&mut self) {
+        let bytes = u64::from(self.clauses.end_offset()) * 4;
+        if bytes > self.stats.arena_peak_bytes {
+            self.stats.arena_peak_bytes = bytes;
+        }
     }
 
     /// Installs the per-variable `bmc_score` ranking (§3.2). Scores default
@@ -922,6 +932,7 @@ impl Solver {
             ClauseId::MAX
         };
         let cref = self.clauses.alloc(&learnt, true, cdg_id);
+        self.note_arena_peak();
         self.clauses.set_activity(cref, 1);
         if learnt.len() >= 2 {
             self.watch_clause(cref, learnt.len(), learnt[0], learnt[1]);

@@ -80,6 +80,20 @@ pub struct SolverStats {
     /// entries of clauses that actually relocated are touched; every other
     /// watch list survives a compaction byte-for-byte.
     pub watch_entries_repaired: u64,
+    /// High-water mark of the clause arena, in bytes (original + learned
+    /// clause storage; updated at allocation and compaction).
+    pub arena_peak_bytes: u64,
+    /// High-water mark of the unroller's cached clause prefix (filled in by
+    /// the BMC engine; stays at the full prefix size unless bounded prefix
+    /// mode retires frames).
+    pub prefix_peak_clauses: u64,
+    /// High-water mark of stored `varRank` entries (filled in by the BMC
+    /// engine; sparse storage keeps this at the cited-variable count rather
+    /// than the full variable range).
+    pub rank_peak_entries: u64,
+    /// High-water mark of the `varRank` table's approximate heap bytes
+    /// (filled in by the BMC engine).
+    pub rank_peak_bytes: u64,
 }
 
 impl SolverStats {
@@ -113,6 +127,10 @@ impl SolverStats {
         self.cdg_peak_nodes = self.cdg_peak_nodes.max(other.cdg_peak_nodes);
         self.cdg_pruned_nodes += other.cdg_pruned_nodes;
         self.watch_entries_repaired += other.watch_entries_repaired;
+        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
+        self.prefix_peak_clauses = self.prefix_peak_clauses.max(other.prefix_peak_clauses);
+        self.rank_peak_entries = self.rank_peak_entries.max(other.rank_peak_entries);
+        self.rank_peak_bytes = self.rank_peak_bytes.max(other.rank_peak_bytes);
     }
 }
 
@@ -139,5 +157,31 @@ mod tests {
         assert_eq!(a.propagations, 15);
         assert_eq!(a.conflicts, 1);
         assert!(a.switched_to_vsids);
+    }
+
+    #[test]
+    fn accumulate_maxes_peaks() {
+        let mut a = SolverStats {
+            cdg_peak_nodes: 7,
+            arena_peak_bytes: 100,
+            prefix_peak_clauses: 4,
+            rank_peak_entries: 9,
+            rank_peak_bytes: 72,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            cdg_peak_nodes: 3,
+            arena_peak_bytes: 250,
+            prefix_peak_clauses: 9,
+            rank_peak_entries: 2,
+            rank_peak_bytes: 16,
+            ..SolverStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.cdg_peak_nodes, 7);
+        assert_eq!(a.arena_peak_bytes, 250);
+        assert_eq!(a.prefix_peak_clauses, 9);
+        assert_eq!(a.rank_peak_entries, 9);
+        assert_eq!(a.rank_peak_bytes, 72);
     }
 }

@@ -132,7 +132,7 @@ fn manual_refine_loop_matches_engine() {
                 ..SolverOptions::default()
             },
         );
-        solver.set_var_ranking(rank.as_slice());
+        solver.set_var_ranking(&rank.snapshot());
         assert_eq!(solver.solve(), SolveResult::Unsat);
         rank.update(&solver.core_vars().unwrap(), k);
     }

@@ -128,7 +128,7 @@ fn run(
         },
     );
     let run = engine.run_collecting();
-    (run, engine.rank().as_slice().to_vec())
+    (run, engine.rank().snapshot())
 }
 
 /// The cross-run comparison currency: per-property per-depth verdict
