@@ -1,0 +1,189 @@
+//! Core-ordered vs unordered IC3 assumption sweep (`BENCH_ic3.json`).
+//!
+//! The IC3 engine transplants the paper's core ranking to the **assumption
+//! ordering** of its relative-induction queries: under the refined
+//! strategies, each frame's assumption literals are sorted by the varRank
+//! score accumulated from that frame's UNSAT cores (and the solver's
+//! decision priorities follow the same table). This binary measures that
+//! transplant the way `incremental_session` measures solver reuse — an
+//! A/B sweep over the UNSAT-heavy instances the proving engines exist to
+//! close:
+//!
+//! - every **holding** instance of the selected suite, plus the dedicated
+//!   proving specimens of [`rbmc_gens::proof_suite`] (mutex arbiters, the
+//!   saturating counter, the pipelined handshake);
+//! - each instance runs under `ic3/std` (solver-default ordering, no core
+//!   ranking) and `ic3/sta` (core-ordered assumptions + ranked decisions);
+//! - each run must end in `Proved`, and the extracted invariant is
+//!   re-checked **in this binary** by [`check_invariant`]'s independent
+//!   initiation/consecution/safety queries — a sweep that proved nothing,
+//!   or proved it with a bogus invariant, is a harness bug, not a data
+//!   point;
+//! - wall times are the median of several repetitions; ordered rows carry
+//!   a `speedup` extra (unordered median / ordered median), and the footer
+//!   prints the per-instance ratios plus their geometric mean.
+//!
+//! Usage: `cargo run -p rbmc-bench --release --bin ic3_sweep
+//! [-- --smoke] [--json-out PATH | --no-json]`
+
+use std::time::Instant;
+
+use rbmc_bench::{secs, BenchCase, BenchReport};
+use rbmc_core::{
+    check_invariant, BmcOptions, BmcRun, Ic3Engine, OrderingStrategy, PropertyVerdict,
+};
+use rbmc_gens::{BenchInstance, Expectation};
+
+/// One strategy's measurement on one instance.
+struct Sweep {
+    median_wall_s: f64,
+    run: BmcRun,
+    proved_depth: usize,
+    invariant_clauses: usize,
+}
+
+fn sweep(instance: &BenchInstance, depth: usize, strategy: OrderingStrategy, reps: usize) -> Sweep {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut engine = Ic3Engine::new(
+            instance.model.clone(),
+            BmcOptions {
+                max_depth: depth,
+                strategy,
+                ..BmcOptions::default()
+            },
+        );
+        let run = engine.run_collecting();
+        times.push(start.elapsed().as_secs_f64());
+        let report = &run.properties[0];
+        let (proved_depth, clauses) = match &report.verdict {
+            PropertyVerdict::Proved {
+                depth,
+                invariant_clauses: Some(clauses),
+            } => (*depth, clauses.clone()),
+            other => panic!(
+                "{} [ic3/{}]: holding instance produced {other} instead of a proof",
+                instance.name,
+                strategy.label()
+            ),
+        };
+        // The in-binary certificate gate: the invariant must pass the
+        // independent initiation/consecution/safety queries against the
+        // engine's working model, every repetition.
+        let working = engine.working_model();
+        if let Err(e) = check_invariant(working, working.bad(), &clauses) {
+            panic!(
+                "{} [ic3/{}]: extracted invariant fails the inductive check: {e}",
+                instance.name,
+                strategy.label()
+            );
+        }
+        last = Some((run, proved_depth, clauses.len()));
+    }
+    let (run, proved_depth, invariant_clauses) = last.expect("at least one repetition ran");
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    Sweep {
+        median_wall_s: times[times.len() / 2],
+        run,
+        proved_depth,
+        invariant_clauses,
+    }
+}
+
+fn case(instance: &BenchInstance, label: &str, s: &Sweep, extra: Vec<(String, f64)>) -> BenchCase {
+    let stats = &s.run.solver_stats;
+    let mut extras = vec![
+        ("proved_depth".into(), s.proved_depth as f64),
+        ("invariant_clauses".into(), s.invariant_clauses as f64),
+        ("invariant_checked".into(), 1.0),
+        ("solve_calls".into(), stats.solve_calls as f64),
+        (
+            "assumption_conflicts".into(),
+            stats.assumption_conflicts as f64,
+        ),
+    ];
+    extras.extend(extra);
+    BenchCase {
+        name: instance.name.clone(),
+        strategy: label.to_string(),
+        wall_s: s.median_wall_s,
+        conflicts: s.run.total_conflicts(),
+        decisions: s.run.total_decisions(),
+        propagations: s.run.total_implications(),
+        completed_depth: s.proved_depth,
+        verdict_ok: true,
+        extra: extras,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--small");
+    let depth = 20;
+    let reps = if smoke { 1 } else { 5 };
+    let mut instances: Vec<BenchInstance> = rbmc_bench::cli_suite(&args)
+        .into_iter()
+        .filter(|i| matches!(i.expectation, Expectation::Holds))
+        .collect();
+    instances.extend(rbmc_gens::proof_suite());
+    let mut report = BenchReport::new(format!(
+        "ic3 core-ordered vs unordered assumptions (frontier bound {depth}, median of {reps})"
+    ));
+
+    println!("IC3: core-ordered assumptions (sta) vs solver-default order (std)\n");
+    println!(
+        "{:<20} {:>9} {:>9} {:>8} {:>6} {:>8} {:>11}",
+        "model", "std (s)", "sta (s)", "speedup", "depth", "inv. cls", "sta confl"
+    );
+
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    let (mut total_std, mut total_sta) = (0.0, 0.0);
+    for instance in &instances {
+        let std_run = sweep(instance, depth, OrderingStrategy::Standard, reps);
+        let sta_run = sweep(instance, depth, OrderingStrategy::RefinedStatic, reps);
+        // Both runs must prove (sweep panics otherwise), but the convergence
+        // frame may legitimately differ: different cores generalize to
+        // different clauses, and clause sets close at different frames.
+        let speedup = std_run.median_wall_s / sta_run.median_wall_s.max(1e-12);
+        total_std += std_run.median_wall_s;
+        total_sta += sta_run.median_wall_s;
+        println!(
+            "{:<20} {:>9} {:>9} {:>7.2}x {:>6} {:>8} {:>11}",
+            instance.name,
+            secs(std::time::Duration::from_secs_f64(std_run.median_wall_s)),
+            secs(std::time::Duration::from_secs_f64(sta_run.median_wall_s)),
+            speedup,
+            sta_run.proved_depth,
+            sta_run.invariant_clauses,
+            sta_run.run.solver_stats.assumption_conflicts,
+        );
+        ratios.push((instance.name.clone(), speedup));
+        report.push(case(instance, "ic3/std", &std_run, Vec::new()));
+        report.push(case(
+            instance,
+            "ic3/sta",
+            &sta_run,
+            vec![("speedup".into(), speedup)],
+        ));
+    }
+
+    let geomean = (ratios.iter().map(|(_, r)| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!(
+        "\nTOTAL median wall: unordered {:.3} s, ordered {:.3} s ({:.2}x); geomean speedup {:.2}x",
+        total_std,
+        total_sta,
+        total_std / total_sta.max(1e-12),
+        geomean
+    );
+    println!(
+        "per-instance ratios: {}",
+        ratios
+            .iter()
+            .map(|(n, r)| format!("{n} {r:.2}x"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    rbmc_bench::report::emit(&args, "ic3", &report);
+}

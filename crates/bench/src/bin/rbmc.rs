@@ -15,6 +15,7 @@
 //!
 //! ```text
 //! rbmc [DIR] [--export-corpus DIR] [--depth N] [--reuse fresh|session]
+//!      [--engine bmc|ic3|induction|portfolio]
 //!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--jobs N]
 //!      [--shard by-property|by-depth|striped|work-stealing]
 //!      [--relaxed] [--deterministic] [--no-preprocess]
@@ -45,9 +46,17 @@
 //!   scheduling-dependent rank tables. `--deterministic` asserts the
 //!   opposite — it is an error to combine it with `--relaxed`,
 //!   `--portfolio`, or a relaxed `--shard`.
+//! - `--engine` picks the verification algorithm: `bmc` (default), `ic3`
+//!   (unbounded proofs — a holding property reports HWMCC status `0` with
+//!   the extracted invariant machine-checked before it is claimed, a
+//!   failing one the same depth-exact witness as BMC), `induction`
+//!   (k-induction proofs, no extracted invariant), or `portfolio` (the
+//!   full-mode race: the BMC grid plus the IC3 and induction provers, first
+//!   conclusive verdict wins).
 //! - `--portfolio` races independent engine configurations per file
 //!   (first verdict wins, losers cancelled); `--portfolio-mode` picks the
-//!   roster axis (strategies, reuse regimes, or the full product).
+//!   roster axis (strategies, reuse regimes, or the full product —
+//!   `full` also races the IC3 and k-induction provers).
 //! - `--selfcheck` is the differential harness: the main run, the
 //!   *opposite* solver-reuse regime, the *opposite* preprocessing regime,
 //!   both deterministic parallel grains,
@@ -56,6 +65,11 @@
 //!   fresh-per-depth single-property runs ([`SolverReuse::Fresh`]). **All**
 //!   mismatching properties across all modes are reported before the
 //!   non-zero exit — a failure names every offender, not just the first.
+//!   Under a proving engine (`--engine ic3|induction`) the harness is
+//!   differential against BMC instead: the prover's per-frontier verdict
+//!   sequence must equal the BMC oracle's per-depth sequence on their
+//!   shared prefix — falsification depths match exactly, and a proof
+//!   implies BMC finds no counterexample within its whole bound.
 //! - `--no-preprocess` turns off the engine's structural preprocessing
 //!   ([`rbmc_core::preprocess_problem`]) and solves the netlist as given.
 //!   Verdicts are identical either way (the selfcheck harness cross-checks
@@ -81,10 +95,11 @@ use rbmc_bench::{BenchCase, BenchReport};
 use rbmc_circuit::aiger::parse_aiger;
 use rbmc_circuit::coi::registers_in_cone;
 use rbmc_circuit::Aig;
+use rbmc_core::induction::InductionEngine;
 use rbmc_core::{
-    preprocess_problem, BmcEngine, BmcOptions, BmcRun, OrderingStrategy, ParallelConfig,
-    PortfolioMode, PreprocessedProblem, ProblemBuilder, PropertyVerdict, ShardMode, SolveResult,
-    SolverReuse, Trace, VerificationProblem,
+    check_invariant, preprocess_problem, BmcEngine, BmcOptions, BmcRun, EngineKind, Ic3Engine,
+    Model, OrderingStrategy, ParallelConfig, PortfolioMode, PreprocessedProblem, ProblemBuilder,
+    PropertyVerdict, ShardMode, SolveResult, SolverReuse, Trace, VerificationProblem,
 };
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -108,7 +123,8 @@ fn parse_strategy(args: &[String], divisor: u32) -> OrderingStrategy {
 }
 
 /// Renders one property's HWMCC-style result block: `1` + witness + `.` for
-/// a counterexample, `2` for a property the bounded sweep leaves open.
+/// a counterexample, `0` for a proved property (unbounded engines), `2` for
+/// a property the bounded sweep leaves open.
 ///
 /// `dontcare` (latch mask, input mask) marks positions outside every
 /// property's structural cone: they print as `x` in the AIGER witness
@@ -150,6 +166,11 @@ fn witness_text(
             for frame in trace.inputs() {
                 out.push_str(&format!("{}\n", bits(frame, input_mask)));
             }
+            out.push_str(".\n");
+        }
+        PropertyVerdict::Proved { .. } => {
+            out.push_str("0\n");
+            out.push_str(&format!("b{prop_index}\n"));
             out.push_str(".\n");
         }
         PropertyVerdict::OpenAt { .. } | PropertyVerdict::Unknown => {
@@ -245,6 +266,68 @@ fn verdict_mismatches(
         .collect()
 }
 
+/// The prover differential (`--selfcheck` under `--engine ic3|induction`
+/// or a full-mode portfolio): a BMC oracle run must agree with the
+/// prover's per-frontier verdict sequence on their shared prefix, a
+/// falsification must land at the exact same depth, and a proof must stay
+/// counterexample-free for BMC's whole bound.
+fn prover_cross_check(
+    stem: &str,
+    problem: &VerificationProblem,
+    run: &BmcRun,
+    options: &BmcOptions,
+    label: &str,
+) -> Vec<String> {
+    let mut engine = BmcEngine::for_problem(
+        problem.clone(),
+        BmcOptions {
+            parallel: None,
+            ..*options
+        },
+    );
+    let oracle = engine.run_collecting();
+    let mut mismatches = Vec::new();
+    for (p, o) in run.properties.iter().zip(&oracle.properties) {
+        let shared = p.depth_results.len().min(o.depth_results.len());
+        if p.depth_results[..shared] != o.depth_results[..shared] {
+            mismatches.push(format!(
+                "{stem}::{}: {label} frontier verdicts {:?} != bmc oracle verdicts {:?}",
+                p.name,
+                &p.depth_results[..shared],
+                &o.depth_results[..shared]
+            ));
+        }
+        match (&p.verdict, &o.verdict) {
+            (
+                PropertyVerdict::Falsified { depth: a, .. },
+                PropertyVerdict::Falsified { depth: b, .. },
+            ) if a != b => {
+                mismatches.push(format!(
+                    "{stem}::{}: {label} counterexample depth {a} != bmc oracle depth {b}",
+                    p.name
+                ));
+            }
+            (PropertyVerdict::Falsified { .. }, PropertyVerdict::Falsified { .. }) => {}
+            (PropertyVerdict::Falsified { depth, .. }, other) => {
+                mismatches.push(format!(
+                    "{stem}::{}: {label} finds a depth-{depth} counterexample \
+                     but the bmc oracle reports: {other}",
+                    p.name
+                ));
+            }
+            (PropertyVerdict::Proved { .. }, PropertyVerdict::Falsified { depth, .. }) => {
+                mismatches.push(format!(
+                    "{stem}::{}: {label} claims a proof but the bmc oracle finds a \
+                     counterexample at depth {depth}",
+                    p.name
+                ));
+            }
+            _ => {}
+        }
+    }
+    mismatches
+}
+
 /// Re-runs the whole problem under an alternative configuration and returns
 /// one diagnostic per property whose per-depth verdict sequence differs
 /// from the main run's.
@@ -284,6 +367,7 @@ type FileOutcome = (String, Vec<BenchCase>, Result<(), String>);
 fn check_file(
     path: &Path,
     options: &BmcOptions,
+    engine_kind: EngineKind,
     portfolio: Option<(PortfolioMode, usize)>,
     selfcheck: bool,
     witness_dir: Option<&Path>,
@@ -316,15 +400,30 @@ fn check_file(
     // internally) because the portfolio path never exposes its engines.
     let pp: Option<PreprocessedProblem> = options.preprocess.then(|| preprocess_problem(&problem));
     let wall = Instant::now();
-    let (run, race) = match portfolio {
+    // `working` is the IC3 engine's (possibly preprocessed) model — the
+    // coordinate system its invariant clauses live in, kept around for the
+    // invariant machine-check gate below.
+    let (run, race, working): (BmcRun, _, Option<Model>) = match portfolio {
         Some((mode, jobs)) => {
             let race = rbmc_core::run_portfolio(&problem, options, mode, jobs);
-            (race.run.clone(), Some(race))
+            (race.run.clone(), Some(race), None)
         }
-        None => {
-            let mut engine = BmcEngine::for_problem(problem.clone(), *options);
-            (engine.run_collecting(), None)
-        }
+        None => match engine_kind {
+            EngineKind::Bmc => {
+                let mut engine = BmcEngine::for_problem(problem.clone(), *options);
+                (engine.run_collecting(), None, None)
+            }
+            EngineKind::Ic3 => {
+                let mut engine = Ic3Engine::for_problem(problem.clone(), *options);
+                let run = engine.run_collecting();
+                let working = engine.working_model().clone();
+                (run, None, Some(working))
+            }
+            EngineKind::Induction => {
+                let mut engine = InductionEngine::for_problem(problem.clone(), *options);
+                (engine.run_collecting(), None, None)
+            }
+        },
     };
     let wall = wall.elapsed();
 
@@ -388,6 +487,20 @@ fn check_file(
             PropertyVerdict::Falsified { depth, .. } => {
                 ("1", format!("counterexample at depth {depth}"))
             }
+            PropertyVerdict::Proved {
+                depth,
+                invariant_clauses,
+            } => (
+                "0",
+                match invariant_clauses {
+                    Some(clauses) => format!(
+                        "proved at depth {depth}, {} invariant clause{}",
+                        clauses.len(),
+                        if clauses.len() == 1 { "" } else { "s" }
+                    ),
+                    None => format!("proved at depth {depth}"),
+                },
+            ),
             PropertyVerdict::OpenAt { depth } => ("2", format!("open at depth {depth}")),
             PropertyVerdict::Unknown => ("2", "unknown (budget exhausted)".to_string()),
         };
@@ -419,6 +532,29 @@ fn check_file(
             }
             _ => None,
         };
+        // Proof soundness gate, symmetric to the witness gate: an IC3
+        // invariant must pass the independent inductive check (init ⊆ inv,
+        // inv ∧ T ⇒ inv', inv ⇒ ¬bad) against the engine's working model
+        // before the proved status is emitted.
+        if let PropertyVerdict::Proved {
+            invariant_clauses: Some(clauses),
+            ..
+        } = &prop_report.verdict
+        {
+            let working = working.as_ref().ok_or_else(|| {
+                format!(
+                    "{stem}::{}: proved verdict with invariant outside the ic3 engine",
+                    prop_report.name
+                )
+            })?;
+            let bad = working.problem().property(idx).bad();
+            check_invariant(working, bad, clauses).map_err(|e| {
+                format!(
+                    "{stem}::{}: invariant fails the inductive check: {e}",
+                    prop_report.name
+                )
+            })?;
+        }
         let dontcare = pp
             .as_ref()
             .filter(|pp| !pp.lift.is_identity())
@@ -433,10 +569,25 @@ fn check_file(
 
         let (completed_depth, verdict_ok) = match &prop_report.verdict {
             PropertyVerdict::Falsified { depth, .. } => (*depth, true),
+            PropertyVerdict::Proved { depth, .. } => (*depth, true),
             PropertyVerdict::OpenAt { depth } => (*depth, true),
             PropertyVerdict::Unknown => (0, false),
         };
         let mut extra = vec![
+            (
+                "proved".into(),
+                matches!(prop_report.verdict, PropertyVerdict::Proved { .. }) as u8 as f64,
+            ),
+            (
+                "invariant_clauses".into(),
+                match &prop_report.verdict {
+                    PropertyVerdict::Proved {
+                        invariant_clauses: Some(clauses),
+                        ..
+                    } => clauses.len() as f64,
+                    _ => -1.0,
+                },
+            ),
             ("properties".into(), run.properties.len() as f64),
             ("file_wall_s".into(), wall.as_secs_f64()),
             ("episodes".into(), prop_report.episodes as f64),
@@ -508,7 +659,10 @@ fn check_file(
         }
         cases.push(BenchCase {
             name: format!("{stem}::{}", prop_report.name),
-            strategy: format!("{strategy_label}/{reuse_label}"),
+            strategy: match engine_kind {
+                EngineKind::Bmc => format!("{strategy_label}/{reuse_label}"),
+                _ => format!("{}/{strategy_label}", engine_kind.label()),
+            },
             // The session run is shared by all of the file's properties, so
             // the per-case wall time is the file's share — summing the cases
             // of a file (or the whole artifact) yields real wall time. The
@@ -523,7 +677,33 @@ fn check_file(
         });
     }
 
-    if selfcheck {
+    if selfcheck
+        && (engine_kind != EngineKind::Bmc || matches!(portfolio, Some((PortfolioMode::Full, _))))
+    {
+        // A run that may carry prover verdicts (a proving engine, or a
+        // full-mode portfolio whose winner may be one): the differential is
+        // against a BMC oracle on the shared frontier prefix instead of
+        // the BMC-shaped regime cross-checks below.
+        let label = if portfolio.is_some() {
+            "portfolio".to_string()
+        } else {
+            engine_kind.label().to_string()
+        };
+        let mismatches = prover_cross_check(&stem, &problem, &run, options, &label);
+        if !mismatches.is_empty() {
+            return Err(format!(
+                "selfcheck found {} mismatch{}:\n  {}",
+                mismatches.len(),
+                if mismatches.len() == 1 { "" } else { "es" },
+                mismatches.join("\n  ")
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  selfcheck: {label} verdicts match the bmc oracle on the shared \
+             frontier prefix (falsification depths exact, proofs counterexample-free)"
+        );
+    } else if selfcheck {
         // The differential harness: the opposite solver-reuse regime, both
         // deterministic parallel grains, and both relaxed grains must all
         // reproduce the main run's per-depth verdicts property for
@@ -651,8 +831,33 @@ fn main() -> ExitCode {
     let relaxed = args.iter().any(|a| a == "--relaxed");
     let deterministic = args.iter().any(|a| a == "--deterministic");
     let no_preprocess = args.iter().any(|a| a == "--no-preprocess");
-    let portfolio_flag = args.iter().any(|a| a == "--portfolio");
+    // `--engine portfolio` is sugar for `--portfolio` with the full-mode
+    // roster (BMC grid + IC3 + induction racing for the first conclusive
+    // verdict); the other labels pick a single engine for every file.
+    let engine_arg = flag_value(&args, "--engine");
+    let engine_portfolio = engine_arg == Some("portfolio");
+    let engine_kind = match engine_arg {
+        None => EngineKind::Bmc,
+        Some("portfolio") => EngineKind::Bmc,
+        Some(label) => match EngineKind::parse(label) {
+            Some(kind) => kind,
+            None => {
+                eprintln!("error: --engine requires bmc|ic3|induction|portfolio, got `{label}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let portfolio_flag = args.iter().any(|a| a == "--portfolio") || engine_portfolio;
+    if engine_kind != EngineKind::Bmc && portfolio_flag {
+        eprintln!(
+            "error: --engine {} cannot be combined with --portfolio \
+             (use --engine portfolio to race the engines)",
+            engine_kind.label()
+        );
+        return ExitCode::from(2);
+    }
     let portfolio_mode = match flag_value(&args, "--portfolio-mode") {
+        None if engine_portfolio => PortfolioMode::Full,
         None => PortfolioMode::default(),
         Some(label) => match PortfolioMode::parse(label) {
             Some(mode) => mode,
@@ -712,11 +917,15 @@ fn main() -> ExitCode {
         None => None,
     };
     if let Some(dir) = &export_dir {
-        let suite = if smoke {
+        let mut suite = if smoke {
             rbmc_gens::small_suite()
         } else {
             rbmc_gens::suite_table1()
         };
+        // The proving-engine specimens ride along in both flavors: they are
+        // small, they all hold, and they are the instances `--engine ic3`
+        // exists to close.
+        suite.extend(rbmc_gens::proof_suite());
         match rbmc_gens::corpus::export_corpus(dir, &suite) {
             Ok(written) => eprintln!(
                 "exported {} corpus files to {}",
@@ -736,6 +945,7 @@ fn main() -> ExitCode {
         "--depth",
         "--divisor",
         "--strategy",
+        "--engine",
         "--reuse",
         "--jobs",
         "--shard",
@@ -764,6 +974,7 @@ fn main() -> ExitCode {
     let Some(corpus_dir) = positional.or(export_dir) else {
         eprintln!(
             "usage: rbmc [DIR] [--export-corpus DIR] [--depth N] \
+             [--engine bmc|ic3|induction|portfolio] \
              [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
              [--jobs N] [--shard by-property|by-depth|striped|work-stealing] \
              [--relaxed] [--deterministic] [--no-preprocess] \
@@ -841,8 +1052,14 @@ fn main() -> ExitCode {
     } else {
         shard.label().to_string()
     };
+    let engine_label = if portfolio_flag {
+        "portfolio"
+    } else {
+        engine_kind.label()
+    };
     let mut report = BenchReport::new(format!(
-        "rbmc corpus ({}, depth={depth}, strategy={}, reuse={}, jobs={jobs}/{grain_label}{})",
+        "rbmc corpus ({}, depth={depth}, engine={engine_label}, strategy={}, reuse={}, \
+         jobs={jobs}/{grain_label}{})",
         corpus_dir.display(),
         strategy.label(),
         reuse.label(),
@@ -859,6 +1076,7 @@ fn main() -> ExitCode {
         let result = check_file(
             &files[i],
             &options,
+            engine_kind,
             portfolio,
             selfcheck,
             witness_dir.as_deref(),
@@ -889,14 +1107,20 @@ fn main() -> ExitCode {
                 .any(|(k, v)| k == "retirement_depth" && *v >= 0.0)
         })
         .count();
+    let proved = report
+        .cases
+        .iter()
+        .filter(|c| c.extra.iter().any(|(k, v)| k == "proved" && *v > 0.0))
+        .count();
     println!(
         "\nchecked {} files / {} properties in {:.3}s: {} falsified (witnesses validated), \
-         {} open, {} failures",
+         {} proved (invariants checked), {} open, {} failures",
         files.len(),
         report.cases.len(),
         start.elapsed().as_secs_f64(),
         falsified,
-        report.cases.len() - falsified,
+        proved,
+        report.cases.len() - falsified - proved,
         failures,
     );
     rbmc_bench::report::emit(&args, "corpus", &report);
@@ -924,6 +1148,15 @@ mod tests {
         assert_eq!(masked, "1\nb0\n0x\nx\nx\n.\n");
         let plain = witness_text(0, &verdict, Some(&trace), None);
         assert_eq!(plain, "1\nb0\n01\n1\n0\n.\n");
+    }
+
+    #[test]
+    fn proved_properties_print_hwmcc_status_zero() {
+        let verdict = PropertyVerdict::Proved {
+            depth: 3,
+            invariant_clauses: Some(vec![vec![(0, false)]]),
+        };
+        assert_eq!(witness_text(2, &verdict, None, None), "0\nb2\n.\n");
     }
 
     #[test]

@@ -232,9 +232,39 @@ pub enum PropertyVerdict {
         /// The deepest depth this property was proven UNSAT at.
         depth: usize,
     },
+    /// The property holds in **all** reachable states — an unbounded proof,
+    /// not merely a bound. Produced by the proving engines
+    /// ([`Ic3Engine`](crate::Ic3Engine), [`induction`](crate::induction));
+    /// plain BMC never returns it.
+    Proved {
+        /// The frame/induction depth at which the proof converged.
+        depth: usize,
+        /// The inductive invariant certifying the proof, as clauses over the
+        /// **working model's** latches: each inner vector is a disjunction of
+        /// "latch `i` has value `b`" literals, and the conjunction of all
+        /// clauses contains the initial states, is closed under the
+        /// transition relation, and excludes every bad state. `None` means
+        /// the proof carries no extracted invariant (k-induction);
+        /// `Some(vec![])` is the trivial invariant *true* (the bad state is
+        /// combinationally unsatisfiable).
+        invariant_clauses: Option<Vec<Vec<(usize, bool)>>>,
+    },
     /// No depth completed for this property (a resource budget ran out
     /// before its first verdict).
     Unknown,
+}
+
+impl PropertyVerdict {
+    /// Whether this verdict is conclusive for the *unbounded* question — a
+    /// counterexample or a proof, as opposed to a bounded or truncated
+    /// answer. Portfolio racing uses this to decide whether a proving
+    /// member's run may claim the race.
+    pub fn is_conclusive(&self) -> bool {
+        matches!(
+            self,
+            PropertyVerdict::Falsified { .. } | PropertyVerdict::Proved { .. }
+        )
+    }
 }
 
 impl fmt::Display for PropertyVerdict {
@@ -244,6 +274,17 @@ impl fmt::Display for PropertyVerdict {
                 write!(f, "falsified at depth {depth}")
             }
             PropertyVerdict::OpenAt { depth } => write!(f, "open at depth {depth}"),
+            PropertyVerdict::Proved {
+                depth,
+                invariant_clauses,
+            } => match invariant_clauses {
+                Some(clauses) => write!(
+                    f,
+                    "proved at depth {depth} ({} invariant clauses)",
+                    clauses.len()
+                ),
+                None => write!(f, "proved at depth {depth}"),
+            },
             PropertyVerdict::Unknown => write!(f, "unknown"),
         }
     }

@@ -1,0 +1,154 @@
+//! The shared [`Engine`] abstraction over [`VerificationProblem`].
+//!
+//! Every verification engine in this crate — bounded model checking
+//! ([`BmcEngine`]), IC3 ([`Ic3Engine`](crate::Ic3Engine)), and k-induction
+//! (via [`induction::InductionEngine`](crate::induction::InductionEngine)) —
+//! answers the same question about the same input: given a problem, produce
+//! a [`BmcRun`] with one [`PropertyVerdict`](crate::PropertyVerdict) per
+//! property. The trait captures exactly that surface, so the portfolio
+//! racer, the corpus runner, and the differential harnesses can provision
+//! engines by [`EngineKind`] without caring which algorithm answers.
+//!
+//! The verdict vocabulary is shared too, which is what makes the engines
+//! *comparable*: a falsification depth means the same thing everywhere (the
+//! shortest counterexample found, bad state at that frame), so an IC3
+//! falsification can be differentially checked against the BMC oracle, and
+//! `Proved` strictly strengthens `OpenAt`.
+
+use std::fmt;
+
+use rbmc_solver::CancelFlag;
+
+use crate::engine::{BmcEngine, BmcOutcome, BmcRun};
+use crate::VerificationProblem;
+
+/// A verification engine over a [`VerificationProblem`]: configured at
+/// construction, runs once, reports one verdict per property.
+pub trait Engine {
+    /// Short engine name used in reports and artifacts ("bmc", "ic3", …).
+    fn name(&self) -> &'static str;
+
+    /// The problem under check, as given (traces and verdicts are in its
+    /// coordinates even when the engine preprocesses a working copy).
+    fn problem(&self) -> &VerificationProblem;
+
+    /// Attaches a cooperative cancellation flag: once raised, the run
+    /// truncates through its resource-out path at the next solver
+    /// checkpoint. Portfolio racing uses this to cut losers off mid-run.
+    fn set_cancel(&mut self, cancel: CancelFlag);
+
+    /// Runs the engine to completion, collecting per-property reports and
+    /// per-depth statistics.
+    fn run_collecting(&mut self) -> BmcRun;
+
+    /// Runs the engine and returns only the summary outcome.
+    fn run(&mut self) -> BmcOutcome {
+        self.run_collecting().outcome
+    }
+}
+
+impl Engine for BmcEngine {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    fn problem(&self) -> &VerificationProblem {
+        BmcEngine::problem(self)
+    }
+
+    fn set_cancel(&mut self, cancel: CancelFlag) {
+        BmcEngine::set_cancel(self, cancel);
+    }
+
+    fn run_collecting(&mut self) -> BmcRun {
+        BmcEngine::run_collecting(self)
+    }
+}
+
+/// Which algorithm answers a verification problem — the provisioning axis
+/// the portfolio roster and the `rbmc --engine` flag select along.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Bounded model checking ([`BmcEngine`]): complete up to the depth
+    /// bound, the bug hunter of the roster.
+    #[default]
+    Bmc,
+    /// IC3 ([`Ic3Engine`](crate::Ic3Engine)): unbounded proofs with
+    /// extracted inductive invariants, shortest counterexamples otherwise.
+    Ic3,
+    /// k-induction with unique-states strengthening
+    /// ([`induction`](crate::induction)): unbounded proofs without an
+    /// extracted invariant.
+    Induction,
+}
+
+impl EngineKind {
+    /// Short name used by the CLI tools and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Bmc => "bmc",
+            EngineKind::Ic3 => "ic3",
+            EngineKind::Induction => "induction",
+        }
+    }
+
+    /// Parses an engine label as accepted by the CLI (`--engine`).
+    pub fn parse(label: &str) -> Option<EngineKind> {
+        match label {
+            "bmc" => Some(EngineKind::Bmc),
+            "ic3" => Some(EngineKind::Ic3),
+            "induction" | "ind" | "kind" => Some(EngineKind::Induction),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::BmcOptions;
+    use crate::Model;
+    use rbmc_circuit::{LatchInit, Netlist, Signal};
+
+    #[test]
+    fn engine_kind_labels_round_trip() {
+        for kind in [EngineKind::Bmc, EngineKind::Ic3, EngineKind::Induction] {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(EngineKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn bmc_engine_runs_through_the_trait() {
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..3)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let next = n.bus_increment(&bits);
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let bad = n.bus_eq_const(&bits, 5);
+        let model = Model::new("counter", n, bad);
+        let mut engine: Box<dyn Engine> = Box::new(BmcEngine::new(
+            model,
+            BmcOptions {
+                max_depth: 10,
+                ..BmcOptions::default()
+            },
+        ));
+        assert_eq!(engine.name(), "bmc");
+        assert_eq!(engine.problem().num_properties(), 1);
+        match engine.run() {
+            BmcOutcome::Counterexample { depth, .. } => assert_eq!(depth, 5),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+}

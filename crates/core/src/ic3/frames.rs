@@ -1,0 +1,161 @@
+//! The frame sequence `F_0 = I, F_1, …, F_K`: blocked-cube storage with
+//! syntactic subsumption.
+//!
+//! A *cube* is a conjunction of register literals, stored as a sorted
+//! `Vec<(latch_position, value)>` over the working model's
+//! [`latches()`](rbmc_circuit::Netlist::latches) order. Blocking cube `c` at
+//! level `j` adds the clause `¬c` to frames `F_1..=F_j`; the solver-side
+//! encoding (one activation literal per level, clause asserted under
+//! `act_j`) lives in the engine — this module only tracks *which* cubes are
+//! blocked *where*, which is what the convergence check, the push phase, and
+//! the invariant extraction read.
+
+/// A conjunction of register literals: `(latch position, value)` pairs,
+/// sorted by position, at most one literal per latch.
+pub(crate) type Cube = Vec<(usize, bool)>;
+
+/// Whether `a ⊆ b` as literal sets (then `¬a` subsumes `¬b`: blocking `a`
+/// blocks every state of `b`). Both cubes must be sorted by latch position.
+pub(crate) fn cube_subsumes(a: &Cube, b: &Cube) -> bool {
+    let mut it = b.iter();
+    'outer: for lit in a {
+        for other in it.by_ref() {
+            if other == lit {
+                continue 'outer;
+            }
+            if other.0 > lit.0 {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Blocked cubes per frame level. `levels[j]` holds the cubes blocked at
+/// exactly level `j` (i.e. whose clause is part of `F_1..=F_j` but not
+/// `F_{j+1}`); level 0 is `I` and never stores cubes.
+#[derive(Debug, Default)]
+pub(crate) struct Frames {
+    levels: Vec<Vec<Cube>>,
+}
+
+impl Frames {
+    pub(crate) fn new() -> Frames {
+        Frames {
+            levels: vec![Vec::new()],
+        }
+    }
+
+    /// Grows the level vector through `level`.
+    pub(crate) fn ensure_level(&mut self, level: usize) {
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+    }
+
+    /// The cubes blocked at exactly `level`.
+    pub(crate) fn cubes_at(&self, level: usize) -> &[Cube] {
+        &self.levels[level]
+    }
+
+    /// Whether `cube` (or a generalization of it) is already blocked at
+    /// `level` — some stored cube at level `≥ level` subsumes it.
+    pub(crate) fn is_blocked(&self, cube: &Cube, level: usize) -> bool {
+        self.levels[level..]
+            .iter()
+            .any(|cubes| cubes.iter().any(|c| cube_subsumes(c, cube)))
+    }
+
+    /// Records `cube` as blocked at `level`, dropping every stored cube at
+    /// levels `≤ level` the new cube subsumes (their clauses stay in the
+    /// solver — harmless, merely redundant — but the bookkeeping forgets
+    /// them so pushing and invariant extraction stay small).
+    pub(crate) fn add(&mut self, level: usize, cube: Cube) {
+        self.ensure_level(level);
+        for stored in &mut self.levels[1..=level] {
+            stored.retain(|c| !cube_subsumes(&cube, c));
+        }
+        self.levels[level].push(cube);
+    }
+
+    /// Moves `cube` from `level` to `level + 1` (the push phase's UNSAT
+    /// case). Returns whether the cube was still present at `level`.
+    pub(crate) fn push_up(&mut self, level: usize, cube: &Cube) -> bool {
+        let stored = &mut self.levels[level];
+        let Some(pos) = stored.iter().position(|c| c == cube) else {
+            return false;
+        };
+        let cube = stored.swap_remove(pos);
+        self.add(level + 1, cube);
+        true
+    }
+
+    /// The union of cubes at every level `≥ level` — the clause set of
+    /// `F_level`, which the invariant extractor negates.
+    pub(crate) fn cubes_from(&self, level: usize) -> Vec<Cube> {
+        self.levels[level..].iter().flatten().cloned().collect()
+    }
+
+    /// Total cubes stored across all levels.
+    #[cfg(test)]
+    pub(crate) fn total_cubes(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsumption_is_subset_of_literals() {
+        let small: Cube = vec![(1, true), (3, false)];
+        let big: Cube = vec![(0, false), (1, true), (3, false), (4, true)];
+        assert!(cube_subsumes(&small, &big));
+        assert!(!cube_subsumes(&big, &small));
+        // Same latch, different polarity: no subsumption.
+        let flipped: Cube = vec![(1, false), (3, false)];
+        assert!(!cube_subsumes(&flipped, &big));
+        // Every cube subsumes itself; the empty cube subsumes everything.
+        assert!(cube_subsumes(&big, &big));
+        assert!(cube_subsumes(&Vec::new(), &small));
+    }
+
+    #[test]
+    fn add_drops_subsumed_cubes_at_lower_levels() {
+        let mut frames = Frames::new();
+        frames.add(2, vec![(0, true), (1, false)]);
+        frames.add(1, vec![(0, true), (1, false), (2, true)]);
+        assert_eq!(frames.total_cubes(), 2);
+        // A more general cube at a higher level subsumes both.
+        frames.add(3, vec![(0, true)]);
+        assert_eq!(frames.total_cubes(), 1);
+        assert_eq!(frames.cubes_at(3).len(), 1);
+    }
+
+    #[test]
+    fn is_blocked_looks_at_this_level_and_above() {
+        let mut frames = Frames::new();
+        frames.add(2, vec![(1, true)]);
+        let state: Cube = vec![(0, false), (1, true)];
+        assert!(frames.is_blocked(&state, 1));
+        assert!(frames.is_blocked(&state, 2));
+        frames.ensure_level(3);
+        assert!(!frames.is_blocked(&state, 3));
+    }
+
+    #[test]
+    fn push_up_moves_a_cube_one_level() {
+        let mut frames = Frames::new();
+        let cube: Cube = vec![(0, true)];
+        frames.add(1, cube.clone());
+        frames.ensure_level(2);
+        assert!(frames.push_up(1, &cube));
+        assert!(frames.cubes_at(1).is_empty());
+        assert_eq!(frames.cubes_at(2), std::slice::from_ref(&cube));
+        // Already moved: a second push finds nothing at the old level.
+        assert!(!frames.push_up(1, &cube));
+        assert_eq!(frames.cubes_from(2), vec![cube]);
+    }
+}

@@ -15,12 +15,21 @@
 //!
 //! If the step holds, `G P` holds; otherwise `k` is increased. With unique
 //! states the loop is complete: it terminates for every finite model.
+//!
+//! Two entry points: [`prove`] is the direct single-model call;
+//! [`InductionEngine`] wraps the same loop behind the shared
+//! [`Engine`] surface (multi-property, cancellable,
+//! [`BmcRun`]-reporting) so the portfolio can race it against BMC and IC3.
+
+use std::time::Instant;
 
 use rbmc_circuit::Node;
 use rbmc_cnf::{CnfFormula, Lit};
-use rbmc_solver::{SolveResult, Solver, SolverOptions};
+use rbmc_solver::{CancelFlag, SolveResult, Solver, SolverStats};
 
-use crate::{BmcEngine, BmcOptions, BmcOutcome, Model, Trace, Unroller};
+use crate::engine::{depth_limits, BmcRun, PropertyReport, PropertyVerdict};
+use crate::engine_trait::Engine;
+use crate::{BmcEngine, BmcOptions, BmcOutcome, Model, Trace, Unroller, VerificationProblem};
 
 /// Outcome of a k-induction proof attempt.
 #[derive(Clone, Debug)]
@@ -71,33 +80,103 @@ pub enum InductionOutcome {
 /// }
 /// ```
 pub fn prove(model: &Model, max_k: usize, options: BmcOptions) -> InductionOutcome {
+    prove_with(model, max_k, &options, None).outcome
+}
+
+/// What one property's induction loop produced, with the accounting the
+/// engine reports: per-depth base-case verdicts and aggregated solver
+/// statistics.
+struct ProveRun {
+    outcome: InductionOutcome,
+    /// Base-case verdict per depth, BMC-shaped (entry `k` answers "is there
+    /// a counterexample of length `k`").
+    depth_results: Vec<SolveResult>,
+    stats: SolverStats,
+    /// Induction depths attempted (one base + step round each).
+    rounds: u64,
+}
+
+/// The induction loop with cooperative cancellation and full accounting —
+/// the body behind both [`prove`] and [`InductionEngine`].
+fn prove_with(
+    model: &Model,
+    max_k: usize,
+    options: &BmcOptions,
+    cancel: Option<&CancelFlag>,
+) -> ProveRun {
+    let limits = depth_limits(options, cancel);
+    let mut stats = SolverStats::new();
+    let mut depth_results: Vec<SolveResult> = Vec::new();
+    let mut rounds = 0;
     for k in 0..=max_k {
-        // Base case: BMC up to depth k.
+        rounds += 1;
+        // Base case: BMC up to depth k (re-run per round; the refined
+        // ordering applies there).
         let mut engine = BmcEngine::new(
             model.clone(),
             BmcOptions {
                 max_depth: k,
-                ..options
+                ..*options
             },
         );
-        match engine.run() {
-            BmcOutcome::Counterexample { depth, trace } => {
-                return InductionOutcome::Falsified { depth, trace };
+        if let Some(cancel) = cancel {
+            engine.set_cancel(cancel.clone());
+        }
+        let run = engine.run_collecting();
+        stats.accumulate(&run.solver_stats);
+        if let Some(report) = run.properties.first() {
+            if report.depth_results.len() > depth_results.len() {
+                depth_results = report.depth_results.clone();
             }
-            BmcOutcome::ResourceOut { .. } => return InductionOutcome::Unknown { max_k: k },
-            BmcOutcome::BoundReached { .. } => {}
+        }
+        let outcome = match run.outcome {
+            BmcOutcome::Counterexample { depth, trace } => {
+                Some(InductionOutcome::Falsified { depth, trace })
+            }
+            BmcOutcome::ResourceOut { .. } => Some(InductionOutcome::Unknown { max_k: k }),
+            BmcOutcome::BoundReached { .. } => None,
+        };
+        if let Some(outcome) = outcome {
+            return ProveRun {
+                outcome,
+                depth_results,
+                stats,
+                rounds,
+            };
         }
         // Step case.
-        if step_case_holds(model, k, options.solver) {
-            return InductionOutcome::Proved { k };
+        let step = {
+            let formula = build_step_formula(model, k);
+            let mut solver = Solver::from_formula_with(&formula, options.solver);
+            let result = solver.solve_limited(&limits);
+            stats.accumulate(solver.stats());
+            result
+        };
+        let outcome = match step {
+            SolveResult::Unsat => Some(InductionOutcome::Proved { k }),
+            SolveResult::Unknown => Some(InductionOutcome::Unknown { max_k: k }),
+            SolveResult::Sat => None,
+        };
+        if let Some(outcome) = outcome {
+            return ProveRun {
+                outcome,
+                depth_results,
+                stats,
+                rounds,
+            };
         }
     }
-    InductionOutcome::Unknown { max_k }
+    ProveRun {
+        outcome: InductionOutcome::Unknown { max_k },
+        depth_results,
+        stats,
+        rounds,
+    }
 }
 
-/// Builds and solves the step case at depth `k`: a path of `k+1` good,
+/// Builds the step case at depth `k`: a path of `k+1` good,
 /// pairwise-distinct states followed by a bad state. UNSAT ⟹ proved.
-fn step_case_holds(model: &Model, k: usize, solver_opts: SolverOptions) -> bool {
+fn build_step_formula(model: &Model, k: usize) -> CnfFormula {
     let unroller = Unroller::new(model);
     // Frames 0..=k+1; no initial-state constraint.
     let mut formula = CnfFormula::with_vars(unroller.num_vars_at(k + 1));
@@ -116,8 +195,139 @@ fn step_case_holds(model: &Model, k: usize, solver_opts: SolverOptions) -> bool 
             add_state_disequality(&unroller, &latches, i, j, &mut formula);
         }
     }
-    let mut solver = Solver::from_formula_with(&formula, solver_opts);
-    solver.solve() == SolveResult::Unsat
+    formula
+}
+
+/// The k-induction prover behind the shared [`Engine`]
+/// surface: checks every property of a [`VerificationProblem`]
+/// independently (each gets its own induction loop over a single-property
+/// [`Model`] view), reports [`PropertyVerdict::Proved`] without an
+/// extracted invariant (`invariant_clauses: None` — the certificate of
+/// k-induction is the pair of UNSAT queries, not a clause set), and
+/// truncates cooperatively when cancelled, which is what lets the
+/// portfolio race it.
+///
+/// `options.max_depth` bounds the induction depth `k`.
+#[derive(Debug)]
+pub struct InductionEngine {
+    problem: VerificationProblem,
+    options: BmcOptions,
+    cancel: Option<CancelFlag>,
+}
+
+impl InductionEngine {
+    /// Creates an engine for a single-property `model`.
+    pub fn new(model: Model, options: BmcOptions) -> InductionEngine {
+        InductionEngine::for_problem(model.into_problem(), options)
+    }
+
+    /// Creates an engine checking every property of `problem`.
+    pub fn for_problem(problem: VerificationProblem, options: BmcOptions) -> InductionEngine {
+        InductionEngine {
+            problem,
+            options,
+            cancel: None,
+        }
+    }
+
+    /// The problem under check.
+    pub fn problem(&self) -> &VerificationProblem {
+        &self.problem
+    }
+
+    /// Attaches a cooperative cancellation flag (portfolio racing).
+    pub fn set_cancel(&mut self, cancel: CancelFlag) {
+        self.cancel = Some(cancel);
+    }
+
+    /// Runs induction and returns only the summary outcome.
+    pub fn run(&mut self) -> BmcOutcome {
+        self.run_collecting().outcome
+    }
+
+    /// Runs the induction loop on every property, collecting per-property
+    /// reports in the shared [`BmcRun`] shape.
+    pub fn run_collecting(&mut self) -> BmcRun {
+        let start = Instant::now();
+        let mut aggregate = SolverStats::new();
+        let mut reports: Vec<PropertyReport> = Vec::new();
+        for prop in self.problem.properties() {
+            let model = Model::new(prop.name(), self.problem.netlist().clone(), prop.bad());
+            let run = prove_with(
+                &model,
+                self.options.max_depth,
+                &self.options,
+                self.cancel.as_ref(),
+            );
+            aggregate.accumulate(&run.stats);
+            let (verdict, retirement_depth) = match run.outcome {
+                InductionOutcome::Proved { k } => (
+                    PropertyVerdict::Proved {
+                        depth: k,
+                        invariant_clauses: None,
+                    },
+                    None,
+                ),
+                InductionOutcome::Falsified { depth, trace } => {
+                    (PropertyVerdict::Falsified { depth, trace }, Some(depth))
+                }
+                InductionOutcome::Unknown { .. } => {
+                    // Distinguish "bound exhausted" (every base case ran to
+                    // completion) from a truncated run.
+                    if run.depth_results.len() == self.options.max_depth + 1
+                        && run.depth_results.iter().all(|r| *r == SolveResult::Unsat)
+                    {
+                        (
+                            PropertyVerdict::OpenAt {
+                                depth: self.options.max_depth,
+                            },
+                            None,
+                        )
+                    } else {
+                        (PropertyVerdict::Unknown, None)
+                    }
+                }
+            };
+            reports.push(PropertyReport {
+                name: prop.name().to_string(),
+                verdict,
+                episodes: run.rounds,
+                assumption_conflicts: 0,
+                decisions: run.stats.decisions,
+                conflicts: run.stats.conflicts,
+                propagations: run.stats.propagations,
+                retirement_depth,
+                depth_results: run.depth_results,
+            });
+        }
+        let outcome = crate::ic3::summarize(&reports, self.options.max_depth);
+        BmcRun {
+            outcome,
+            properties: reports,
+            per_depth: Vec::new(),
+            solver_stats: aggregate,
+            workers: Vec::new(),
+            total_time: start.elapsed(),
+        }
+    }
+}
+
+impl Engine for InductionEngine {
+    fn name(&self) -> &'static str {
+        "induction"
+    }
+
+    fn problem(&self) -> &VerificationProblem {
+        InductionEngine::problem(self)
+    }
+
+    fn set_cancel(&mut self, cancel: CancelFlag) {
+        InductionEngine::set_cancel(self, cancel);
+    }
+
+    fn run_collecting(&mut self) -> BmcRun {
+        InductionEngine::run_collecting(self)
+    }
 }
 
 /// Same frame constraints as the BMC unroller, but frame 0 registers are
@@ -273,5 +483,59 @@ mod tests {
             InductionOutcome::Proved { .. } => {}
             other => panic!("expected proof, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_reports_proofs_in_the_shared_verdict_shape() {
+        let mut n = Netlist::new();
+        let l = n.add_latch("l", LatchInit::Zero);
+        n.set_next(l, l);
+        let model = Model::new("sticky0", n, l);
+        let mut engine = InductionEngine::new(model, BmcOptions::default());
+        assert_eq!(Engine::name(&engine), "induction");
+        let run = engine.run_collecting();
+        match &run.properties[0].verdict {
+            PropertyVerdict::Proved {
+                depth,
+                invariant_clauses,
+            } => {
+                assert_eq!(*depth, 0);
+                assert!(invariant_clauses.is_none());
+            }
+            other => panic!("expected proof, got {other}"),
+        }
+        assert!(matches!(run.outcome, BmcOutcome::BoundReached { .. }));
+    }
+
+    #[test]
+    fn engine_falsifies_with_a_validated_trace() {
+        let model = counter_model(3, 6);
+        let mut engine = InductionEngine::new(model, BmcOptions::default());
+        let run = engine.run_collecting();
+        match &run.properties[0].verdict {
+            PropertyVerdict::Falsified { depth, trace } => {
+                assert_eq!(*depth, 6);
+                assert!(trace
+                    .validate_against(
+                        engine.problem().netlist(),
+                        engine.problem().properties()[0].bad()
+                    )
+                    .is_ok());
+            }
+            other => panic!("expected falsification, got {other}"),
+        }
+    }
+
+    #[test]
+    fn engine_cancellation_truncates() {
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let mut engine = InductionEngine::new(counter_model(4, 13), BmcOptions::default());
+        engine.set_cancel(flag);
+        let run = engine.run_collecting();
+        assert!(matches!(
+            run.properties[0].verdict,
+            PropertyVerdict::Unknown
+        ));
     }
 }

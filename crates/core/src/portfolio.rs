@@ -23,6 +23,18 @@
 //! solvers return [`Unknown`](rbmc_solver::SolveResult::Unknown) at the
 //! next conflict/decision boundary, and each cancelled run truncates
 //! through the ordinary budget machinery — no thread is ever killed.
+//!
+//! [`PortfolioMode::Full`] also races along the *engine* axis: besides the
+//! BMC strategy × reuse grid, the roster carries an [`Ic3Engine`] member
+//! (core-ordered assumptions) and a k-induction member. The asymmetry is
+//! deliberate — BMC hunts bugs, the provers hunt proofs — and it needs an
+//! eligibility rule: a prover may only claim the race when *every* property
+//! got a conclusive verdict ([`Falsified`](crate::PropertyVerdict::Falsified)
+//! or [`Proved`](crate::PropertyVerdict::Proved)); a prover that merely ran
+//! out of frontier reports [`MemberState::Incomplete`] and the race goes
+//! on. BMC members stay always-eligible (they are the authority on the
+//! bounded question the portfolio was asked), and member 0 is always the
+//! base BMC configuration, so a winner still always exists.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -30,14 +42,21 @@ use std::time::{Duration, Instant};
 use rbmc_solver::CancelFlag;
 
 use crate::engine::{BmcEngine, BmcOptions, BmcRun, OrderingStrategy, SolverReuse};
+use crate::engine_trait::{Engine, EngineKind};
+use crate::ic3::Ic3Engine;
+use crate::induction::InductionEngine;
 use crate::parallel::striped_map;
 use crate::VerificationProblem;
 
-/// One racing configuration: an ordering strategy paired with a solver
-/// provisioning regime. Everything else is inherited from the base
-/// [`BmcOptions`].
+/// One racing configuration: a verification engine, an ordering strategy,
+/// and a solver provisioning regime. Everything else is inherited from the
+/// base [`BmcOptions`]. The strategy applies to every engine (BMC's
+/// per-depth varRank, IC3's per-frame core ordering, induction's base
+/// cases); the reuse regime is meaningful for BMC only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PortfolioMember {
+    /// The verification engine this member runs.
+    pub engine: EngineKind,
     /// The decision-ordering scheme this member runs.
     pub strategy: OrderingStrategy,
     /// The solver provisioning regime this member runs.
@@ -45,9 +64,14 @@ pub struct PortfolioMember {
 }
 
 impl PortfolioMember {
-    /// Short `strategy/reuse` name used in reports ("dyn/session").
+    /// Short name used in reports: `strategy/reuse` for BMC members
+    /// ("dyn/session"), `ic3/strategy` for IC3, "induction" for induction.
     pub fn label(self) -> String {
-        format!("{}/{}", self.strategy.label(), self.reuse.label())
+        match self.engine {
+            EngineKind::Bmc => format!("{}/{}", self.strategy.label(), self.reuse.label()),
+            EngineKind::Ic3 => format!("ic3/{}", self.strategy.label()),
+            EngineKind::Induction => "induction".to_string(),
+        }
     }
 }
 
@@ -61,7 +85,9 @@ pub enum PortfolioMode {
     /// Race [`SolverReuse::Session`] against [`SolverReuse::Fresh`] under
     /// the base options' strategy.
     ReuseRegimes,
-    /// Race the full strategy × reuse product.
+    /// Race the full strategy × reuse product, plus the proving engines:
+    /// an IC3 member (core-ordered assumptions) and a k-induction member
+    /// race the BMC grid for an unbounded answer.
     Full,
 }
 
@@ -97,6 +123,7 @@ impl PortfolioMode {
         ];
         let reuses = [SolverReuse::Session, SolverReuse::Fresh];
         let mut members = vec![PortfolioMember {
+            engine: EngineKind::Bmc,
             strategy: base.strategy,
             reuse: base.reuse,
         }];
@@ -110,6 +137,7 @@ impl PortfolioMode {
                 for strategy in strategies {
                     push(
                         PortfolioMember {
+                            engine: EngineKind::Bmc,
                             strategy,
                             reuse: base.reuse,
                         },
@@ -121,6 +149,7 @@ impl PortfolioMode {
                 for reuse in reuses {
                     push(
                         PortfolioMember {
+                            engine: EngineKind::Bmc,
                             strategy: base.strategy,
                             reuse,
                         },
@@ -131,9 +160,36 @@ impl PortfolioMode {
             PortfolioMode::Full => {
                 for strategy in strategies {
                     for reuse in reuses {
-                        push(PortfolioMember { strategy, reuse }, &mut members);
+                        push(
+                            PortfolioMember {
+                                engine: EngineKind::Bmc,
+                                strategy,
+                                reuse,
+                            },
+                            &mut members,
+                        );
                     }
                 }
+                // The provers: IC3 under the core-ordered strategy, and
+                // k-induction under the base strategy (its base cases are
+                // BMC runs). Reuse is pinned to the base regime — neither
+                // prover reads it.
+                push(
+                    PortfolioMember {
+                        engine: EngineKind::Ic3,
+                        strategy: OrderingStrategy::RefinedStatic,
+                        reuse: base.reuse,
+                    },
+                    &mut members,
+                );
+                push(
+                    PortfolioMember {
+                        engine: EngineKind::Induction,
+                        strategy: base.strategy,
+                        reuse: base.reuse,
+                    },
+                    &mut members,
+                );
             }
         }
         members
@@ -149,6 +205,11 @@ pub enum MemberState {
     Lost,
     /// Stopped early by the winner's cancellation.
     Cancelled,
+    /// Finished uncancelled, but without a conclusive verdict
+    /// ([`Falsified`](crate::PropertyVerdict::Falsified) or
+    /// [`Proved`](crate::PropertyVerdict::Proved)) for every property —
+    /// a prover that ran out of frontier. Not eligible to claim the race.
+    Incomplete,
     /// Never started: the race was already decided when a worker reached it.
     Skipped,
 }
@@ -198,19 +259,30 @@ pub fn run_portfolio(
         if winner.load(Ordering::Acquire) != usize::MAX {
             return (None, MemberState::Skipped, Duration::ZERO);
         }
-        let mut engine = BmcEngine::for_problem(
-            problem.clone(),
-            BmcOptions {
-                strategy: members[i].strategy,
-                reuse: members[i].reuse,
-                parallel: None,
-                ..*options
-            },
-        );
+        let member_options = BmcOptions {
+            strategy: members[i].strategy,
+            reuse: members[i].reuse,
+            parallel: None,
+            ..*options
+        };
+        let mut engine: Box<dyn Engine> = match members[i].engine {
+            EngineKind::Bmc => Box::new(BmcEngine::for_problem(problem.clone(), member_options)),
+            EngineKind::Ic3 => Box::new(Ic3Engine::for_problem(problem.clone(), member_options)),
+            EngineKind::Induction => Box::new(InductionEngine::for_problem(
+                problem.clone(),
+                member_options,
+            )),
+        };
         engine.set_cancel(flags[i].clone());
         let run = engine.run_collecting();
+        // Eligibility: BMC answers the bounded question and always may
+        // claim; a prover claims only a fully conclusive answer.
+        let eligible = members[i].engine == EngineKind::Bmc
+            || run.properties.iter().all(|p| p.verdict.is_conclusive());
         let state = if flags[i].is_cancelled() {
             MemberState::Cancelled
+        } else if !eligible {
+            MemberState::Incomplete
         } else if winner
             .compare_exchange(usize::MAX, i, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -227,9 +299,9 @@ pub fn run_portfolio(
         (Some(run), state, member_start.elapsed())
     });
 
-    // A winner always exists: the last member to finish finds the latch
-    // either free (its CAS wins) or taken (someone else won first), and a
-    // member only observes its own flag cancelled after a winner set it.
+    // A winner always exists: member 0 is always an always-eligible BMC
+    // member, and it finishes either uncancelled (its CAS wins or someone
+    // else's did first) or cancelled (which only a winner does).
     let winner = winner.load(Ordering::Acquire);
     assert_ne!(winner, usize::MAX, "a portfolio race always has a winner");
     let run = results[winner]
@@ -305,7 +377,70 @@ mod tests {
                 .any(|(i, m)| members[..i].contains(m));
             assert!(!dup, "{mode:?} roster has duplicates: {members:?}");
         }
-        assert_eq!(PortfolioMode::Full.members_for(&base).len(), 6);
+        assert_eq!(PortfolioMode::Full.members_for(&base).len(), 8);
+    }
+
+    #[test]
+    fn full_roster_races_the_proving_engines_too() {
+        let members = PortfolioMode::Full.members_for(&base_options());
+        assert!(members
+            .iter()
+            .any(|m| m.engine == EngineKind::Ic3 && m.label() == "ic3/sta"));
+        assert!(members
+            .iter()
+            .any(|m| m.engine == EngineKind::Induction && m.label() == "induction"));
+        // The bounded modes stay pure BMC.
+        for mode in [PortfolioMode::Strategies, PortfolioMode::ReuseRegimes] {
+            assert!(mode
+                .members_for(&base_options())
+                .iter()
+                .all(|m| m.engine == EngineKind::Bmc));
+        }
+    }
+
+    #[test]
+    fn provers_only_win_with_fully_conclusive_verdicts() {
+        // Holding property (reset counter never reaches 13): whoever wins,
+        // the race must report no counterexample, and a prover winner must
+        // have proved everything it claimed.
+        let mut n = Netlist::new();
+        let bits: Vec<Signal> = (0..4)
+            .map(|i| n.add_latch(&format!("b{i}"), LatchInit::Zero))
+            .collect();
+        let inc = n.bus_increment(&bits);
+        let at10 = n.bus_eq_const(&bits, 10);
+        let next: Vec<Signal> = inc.iter().map(|&s| n.mux(at10, Signal::FALSE, s)).collect();
+        for (&b, &nx) in bits.iter().zip(&next) {
+            n.set_next(b, nx);
+        }
+        let bad = n.bus_eq_const(&bits, 13);
+        let problem = ProblemBuilder::new("holds", n)
+            .property("reach_13", bad)
+            .build();
+        for jobs in [1, 4] {
+            let race = run_portfolio(&problem, &base_options(), PortfolioMode::Full, jobs);
+            assert!(
+                matches!(race.run.outcome, BmcOutcome::BoundReached { .. }),
+                "j{jobs}: {:?}",
+                race.run.outcome
+            );
+            let winner = &race.members[race.winner];
+            if winner.member.engine != EngineKind::Bmc {
+                assert!(
+                    race.run
+                        .properties
+                        .iter()
+                        .all(|p| p.verdict.is_conclusive()),
+                    "j{jobs}: prover winner with inconclusive verdicts"
+                );
+            }
+            // Incomplete is a prover-only state.
+            for m in &race.members {
+                if m.state == MemberState::Incomplete {
+                    assert_ne!(m.member.engine, EngineKind::Bmc, "j{jobs}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod random;
 
 mod suite;
 
-pub use suite::{small_suite, suite_table1, BenchInstance, Expectation};
+pub use suite::{proof_suite, small_suite, suite_table1, BenchInstance, Expectation};

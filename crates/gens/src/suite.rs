@@ -218,6 +218,34 @@ pub fn suite_table1() -> Vec<BenchInstance> {
     v
 }
 
+/// UNSAT-heavy specimens for the proving engines: every instance **holds**,
+/// with a counterexample-free frontier at every depth, so BMC alone can
+/// never close them — they exist to exercise IC3 / k-induction proofs (and
+/// the core-ordered assumption ranking) rather than bug hunting. Exported
+/// into the corpus alongside [`suite_table1`] / [`small_suite`].
+pub fn proof_suite() -> Vec<BenchInstance> {
+    use Expectation::Holds;
+    vec![
+        // Token conservation across capture/release: the proof needs the
+        // quadratic one-hotness invariant over token AND lock registers.
+        BenchInstance::new("p1_mutex4", families::mutex_arbiter(4), Holds, 12),
+        // The counter saturates at 10; reaching 12 is unreachable, but only
+        // an inductive proof (carving out the band above the cap) shows it.
+        BenchInstance::new(
+            "p2_satcnt4",
+            families::saturating_counter(4, 10, 12),
+            Holds,
+            16,
+        ),
+        // Sticky error register guarded by a per-stage relational invariant
+        // (twin data chains agree under shared stalls).
+        BenchInstance::new("p3_hshake6", families::pipelined_handshake(6), Holds, 12),
+        // A wider mutex: more stations, quadratically more invariant
+        // clauses — the stress case for the assumption ordering.
+        BenchInstance::new("p4_mutex6", families::mutex_arbiter(6), Holds, 10),
+    ]
+}
+
 /// A fast subset (small parameters) for unit tests and smoke runs.
 pub fn small_suite() -> Vec<BenchInstance> {
     use Expectation::{FailsAt, Holds};
@@ -304,6 +332,23 @@ mod tests {
         for b in small_suite() {
             assert!(b.model.netlist().validate().is_ok(), "{}", b.name);
         }
+        for b in proof_suite() {
+            assert!(b.model.netlist().validate().is_ok(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn proof_suite_is_all_holding() {
+        let suite = proof_suite();
+        assert!(suite.len() >= 3);
+        for b in &suite {
+            assert_eq!(b.expectation, Expectation::Holds, "{}", b.name);
+            assert_eq!(b.verdict_label(), "T", "{}", b.name);
+        }
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "names must be unique");
     }
 
     #[test]

@@ -72,6 +72,11 @@ fn main() {
                     report.name, report.episodes, report.assumption_conflicts
                 );
             }
+            PropertyVerdict::Proved { depth, .. } => {
+                // Plain BMC never proves; a proving engine swapped in via
+                // the `Engine` trait would land here.
+                println!("property b{idx} `{}`: proved at depth {depth}", report.name);
+            }
             PropertyVerdict::Unknown => {
                 println!("property b{idx} `{}`: unknown", report.name);
             }

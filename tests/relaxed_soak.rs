@@ -72,6 +72,9 @@ fn assert_committed(run: &BmcRun, problem: &VerificationProblem, max_depth: usiz
                     prop.name
                 );
             }
+            PropertyVerdict::Proved { .. } => {
+                panic!("{ctx}: {} proved by a BMC-only mode", prop.name);
+            }
         }
         // Everything before a trailing Unknown is a real verdict.
         for (k, r) in prop.depth_results.iter().enumerate() {
