@@ -17,7 +17,7 @@ fn bench_fresh(c: &mut Criterion) {
         b.iter(|| {
             let unroller = Unroller::new(&model);
             unroller.formula(20)
-        })
+        });
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_engine_sweep(c: &mut Criterion) {
                     literals += 1; // the ¬P(V^k) unit of `bad_lit`
                 }
                 literals
-            })
+            });
         });
     }
 }
@@ -53,7 +53,7 @@ fn bench_cached_instance(c: &mut Criterion) {
     let model = families::fifo_guarded(4);
     c.bench_function("unroll/fifo16_k20", |b| {
         let unroller = Unroller::new(&model);
-        b.iter(|| unroller.formula(20))
+        b.iter(|| unroller.formula(20));
     });
 }
 

@@ -42,7 +42,7 @@ fn bench_strategies(c: &mut Criterion) {
                         },
                     );
                     engine.run()
-                })
+                });
             });
         }
         group.finish();

@@ -38,7 +38,7 @@ fn bench_bcp(c: &mut Criterion) {
             || Solver::from_formula(&chain),
             |mut s| s.solve(),
             BatchSize::SmallInput,
-        )
+        );
     });
     // Random 3-SAT at the phase transition: a long conflict-driven search
     // whose learned-clause database grows to thousands of clauses, so the
@@ -51,7 +51,7 @@ fn bench_bcp(c: &mut Criterion) {
             || Solver::from_formula(&f),
             |mut s| s.solve(),
             BatchSize::SmallInput,
-        )
+        );
     });
     // Random 3-SAT below the phase transition: few conflicts, so this
     // isolates one propagation-and-decision sweep over a large (multi-MB)
@@ -62,7 +62,7 @@ fn bench_bcp(c: &mut Criterion) {
             || Solver::from_formula(&f),
             |mut s| s.solve(),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -76,7 +76,7 @@ fn bench_random_3sat(c: &mut Criterion) {
                 || Solver::from_formula(&f),
                 |mut s| s.solve(),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -96,7 +96,7 @@ fn bench_cdg_overhead(c: &mut Criterion) {
                 || Solver::from_formula_with(&f, opts),
                 |mut s| s.solve(),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

@@ -21,12 +21,14 @@ fn main() {
         .iter()
         .position(|a| a == "--instance")
         .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or(if smoke {
-            "s6_twin4"
-        } else {
-            "11_1_shift10_twin"
-        })
+        .map_or(
+            if smoke {
+                "s6_twin4"
+            } else {
+                "11_1_shift10_twin"
+            },
+            String::as_str,
+        )
         .to_string();
     let instance = suite
         .iter()

@@ -164,14 +164,15 @@ fn main() -> ExitCode {
     let depth: usize = flag_value(&args, "--depth")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 10 } else { 20 });
-    let mut jobs_list: Vec<usize> = flag_value(&args, "--jobs-list")
-        .map(|v| {
+    let mut jobs_list: Vec<usize> = flag_value(&args, "--jobs-list").map_or_else(
+        || vec![1, 2, 4],
+        |v| {
             v.split(',')
                 .filter_map(|j| j.parse().ok())
                 .filter(|&j| j > 0)
                 .collect()
-        })
-        .unwrap_or_else(|| vec![1, 2, 4]);
+        },
+    );
     if jobs_list.is_empty() {
         eprintln!("error: --jobs-list requires a comma-separated list of positive integers");
         return ExitCode::from(2);
@@ -283,8 +284,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let num_properties: usize = problems.iter().map(|p| p.num_properties()).sum();
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let num_properties: usize = problems
+        .iter()
+        .map(rbmc_core::VerificationProblem::num_properties)
+        .sum();
 
     // --modes switches to the relaxed mode comparison (BENCH_relaxed.json).
     if let Some(modes_arg) = flag_value(&args, "--modes") {
@@ -366,10 +370,10 @@ fn main() -> ExitCode {
                     (det_wall / wall_s, worst)
                 }
             };
-            let conflicts: u64 = runs.iter().map(|r| r.total_conflicts()).sum();
-            let decisions: u64 = runs.iter().map(|r| r.total_decisions()).sum();
-            let propagations: u64 = runs.iter().map(|r| r.total_implications()).sum();
-            let falsified: usize = runs.iter().map(|r| r.num_falsified()).sum();
+            let conflicts: u64 = runs.iter().map(rbmc_core::BmcRun::total_conflicts).sum();
+            let decisions: u64 = runs.iter().map(rbmc_core::BmcRun::total_decisions).sum();
+            let propagations: u64 = runs.iter().map(rbmc_core::BmcRun::total_implications).sum();
+            let falsified: usize = runs.iter().map(rbmc_core::BmcRun::num_falsified).sum();
             println!(
                 "  {}: {wall_s:.3}s wall, {falsified} falsified, speedup {speedup:.2}x vs \
                  deterministic, worst file ratio {worst_ratio:.2}",
@@ -443,10 +447,10 @@ fn main() -> ExitCode {
                 base_wall / wall_s
             }
         };
-        let conflicts: u64 = runs.iter().map(|r| r.total_conflicts()).sum();
-        let decisions: u64 = runs.iter().map(|r| r.total_decisions()).sum();
-        let propagations: u64 = runs.iter().map(|r| r.total_implications()).sum();
-        let falsified: usize = runs.iter().map(|r| r.num_falsified()).sum();
+        let conflicts: u64 = runs.iter().map(rbmc_core::BmcRun::total_conflicts).sum();
+        let decisions: u64 = runs.iter().map(rbmc_core::BmcRun::total_decisions).sum();
+        let propagations: u64 = runs.iter().map(rbmc_core::BmcRun::total_implications).sum();
+        let falsified: usize = runs.iter().map(rbmc_core::BmcRun::num_falsified).sum();
         println!("  jobs={jobs}: {wall_s:.3}s wall, {falsified} falsified, speedup {speedup:.2}x");
         report.push(BenchCase {
             name: "corpus_sweep".into(),

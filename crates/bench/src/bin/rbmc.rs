@@ -19,6 +19,7 @@
 //!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--jobs N]
 //!      [--shard by-property|by-depth|striped|work-stealing]
 //!      [--relaxed] [--deterministic] [--no-preprocess]
+//!      [--lint off|warn|deny]
 //!      [--portfolio] [--portfolio-mode strategies|reuse|full]
 //!      [--selfcheck] [--smoke]
 //!      [--witness-dir DIR] [--json-out PATH | --no-json]
@@ -78,6 +79,17 @@
 //!   witness positions for latches/inputs outside every property's cone
 //!   print as `x` (their value is irrelevant; the validated trace replays
 //!   them at the declared reset value / `false`).
+//! - `--lint {off,warn,deny}` (default `warn`) runs the static linter
+//!   ([`rbmc_circuit::lint`]) over every file's raw AIGER bytes before
+//!   solving. `warn` prints diagnostics per file and counts them in the
+//!   report extras (`lint_warnings`/`lint_errors`); `deny` additionally
+//!   fails any file with an error-severity diagnostic (the fail-closed CI
+//!   shape); `off` stays silent. Verdicts and witnesses are byte-identical
+//!   across all three modes. Independently of the mode, a file the pipeline
+//!   cannot check at all — unparseable bytes, unsupported `C`/`J`/`F`
+//!   sections, no properties, duplicate property names — is recorded as a
+//!   *skipped* entry (strategy `skipped` in `BENCH_corpus.json`, with its
+//!   diagnostic) and the sweep continues with a clean exit code.
 //! - `--smoke` shrinks the export to the small suite and the default depth
 //!   bound to 10 (CI mode).
 //!
@@ -94,6 +106,7 @@ use std::time::Instant;
 use rbmc_bench::{BenchCase, BenchReport};
 use rbmc_circuit::aiger::parse_aiger;
 use rbmc_circuit::coi::registers_in_cone;
+use rbmc_circuit::lint::{lint_aiger, LintCode, LintReport};
 use rbmc_circuit::Aig;
 use rbmc_core::induction::InductionEngine;
 use rbmc_core::{
@@ -107,6 +120,74 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// How `--lint` diagnostics gate the sweep (`rbmc_circuit::lint`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LintMode {
+    /// Lint runs (its structural facts still guard the skip path) but
+    /// reports nothing.
+    Off,
+    /// Diagnostics are printed per file and counted in the report extras;
+    /// nothing fails. The default.
+    Warn,
+    /// Like `warn`, but any error-severity diagnostic fails the file — the
+    /// fail-closed CI shape. Warnings stay non-fatal.
+    Deny,
+}
+
+fn parse_lint_mode(args: &[String]) -> LintMode {
+    match flag_value(args, "--lint") {
+        None | Some("warn") => LintMode::Warn,
+        Some("off") => LintMode::Off,
+        Some("deny") => LintMode::Deny,
+        Some(other) => {
+            eprintln!("error: --lint requires off|warn|deny, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// How a swept file ended: fully checked, or set aside with a diagnostic
+/// (unparseable, unsupported sections, no properties, or a structural defect
+/// the engine cannot represent). Skips keep the sweep going and the exit
+/// code clean; under `--lint deny` the same files fail instead.
+enum FileDisposition {
+    /// The file was solved and all its gates passed.
+    Checked,
+    /// The file was recorded as skipped, with this reason.
+    Skipped(String),
+}
+
+/// Records a skipped file: a diagnostic line in the per-file output and one
+/// `BENCH_corpus.json` case with the distinct `skipped` strategy label, so a
+/// sweep over a corpus with defective members still reports every file.
+fn skip_file(
+    stem: &str,
+    reason: String,
+    lint: &LintReport,
+    lint_lines: &str,
+    out: &mut String,
+    cases: &mut Vec<BenchCase>,
+) -> FileDisposition {
+    let _ = writeln!(out, "{stem}: skipped ({reason})");
+    let _ = write!(out, "{lint_lines}");
+    cases.push(BenchCase {
+        name: format!("{stem}::file"),
+        strategy: "skipped".into(),
+        wall_s: 0.0,
+        conflicts: 0,
+        decisions: 0,
+        propagations: 0,
+        completed_depth: 0,
+        verdict_ok: true,
+        extra: vec![
+            ("skipped".into(), 1.0),
+            ("lint_warnings".into(), lint.num_warnings() as f64),
+            ("lint_errors".into(), lint.num_errors() as f64),
+        ],
+    });
+    FileDisposition::Skipped(format!("{stem}: {reason}"))
 }
 
 fn parse_strategy(args: &[String], divisor: u32) -> OrderingStrategy {
@@ -356,7 +437,7 @@ fn cross_check(
 /// the check succeeded — output and cases survive a failure, so the
 /// diagnostics printed for a failing file are no poorer than an eager
 /// sequential sweep's.
-type FileOutcome = (String, Vec<BenchCase>, Result<(), String>);
+type FileOutcome = (String, Vec<BenchCase>, Result<FileDisposition, String>);
 
 /// The per-file check: one run over all properties (sequential or parallel
 /// per `options.parallel`), witness gates, optional differential
@@ -374,23 +455,68 @@ fn check_file(
     reuse_label: &str,
     strategy_label: &str,
     quiet_witnesses: bool,
+    lint_mode: LintMode,
     out: &mut String,
     cases: &mut Vec<BenchCase>,
-) -> Result<(), String> {
+) -> Result<FileDisposition, String> {
     let stem = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("benchmark")
         .to_string();
     let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let aig = parse_aiger(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    // The lint pass runs on the raw bytes regardless of mode — its
+    // structural facts also guard the skip path below — but only `warn` and
+    // `deny` report it. Verdicts and traces never depend on the mode.
+    let lint = lint_aiger(&bytes);
+    let mut lint_lines = String::new();
+    if lint_mode != LintMode::Off {
+        for diagnostic in lint.diagnostics() {
+            let _ = writeln!(lint_lines, "  lint: {diagnostic}");
+        }
+    }
+    if lint_mode == LintMode::Deny && lint.num_errors() > 0 {
+        let _ = writeln!(out, "{stem}: lint errors:");
+        let _ = write!(out, "{lint_lines}");
+        return Err(format!(
+            "{}: lint denied: {} error{} (rerun with --lint warn to triage)",
+            path.display(),
+            lint.num_errors(),
+            if lint.num_errors() == 1 { "" } else { "s" },
+        ));
+    }
+    // Input defects stop this file, not the sweep: unparseable bytes and
+    // unsupported sections become a skipped entry with a diagnostic.
+    let aig = match parse_aiger(&bytes) {
+        Ok(aig) => aig,
+        Err(e) => {
+            let reason = format!("unparseable: {e}");
+            return Ok(skip_file(&stem, reason, &lint, &lint_lines, out, cases));
+        }
+    };
     // One decode serves both the problem construction and the witness
     // replay gate (VerificationProblem::from_aiger would re-parse).
     let builder = ProblemBuilder::from_aig(&stem, &aig);
     if builder.num_properties() == 0 {
-        return Err(format!(
-            "{}: aiger file declares no bad-state lines and no outputs",
-            path.display()
+        return Ok(skip_file(
+            &stem,
+            "aiger file declares no bad-state lines and no outputs".into(),
+            &lint,
+            &lint_lines,
+            out,
+            cases,
+        ));
+    }
+    if lint.codes().contains(&LintCode::DuplicateProperty) {
+        // `ProblemBuilder::build` rejects duplicate names outright; surface
+        // the lint diagnostic instead of dying inside the builder.
+        return Ok(skip_file(
+            &stem,
+            "duplicate property names (lint L005)".into(),
+            &lint,
+            &lint_lines,
+            out,
+            cases,
         ));
     }
     let problem = builder.build();
@@ -441,6 +567,7 @@ fn check_file(
         problem.netlist().num_nodes(),
         aig.num_ands(),
     );
+    let _ = write!(out, "{lint_lines}");
     if let Some(race) = &race {
         let _ = writeln!(
             out,
@@ -459,7 +586,7 @@ fn check_file(
         &problem
             .properties()
             .iter()
-            .map(|p| p.bad())
+            .map(rbmc_core::Property::bad)
             .collect::<Vec<_>>(),
     );
     if let Some(pp) = &pp {
@@ -627,6 +754,9 @@ fn check_file(
                 "rank_peak_entries".into(),
                 run.solver_stats.rank_peak_entries as f64,
             ),
+            // Lint counts of the containing file (shared by its properties).
+            ("lint_warnings".into(), lint.num_warnings() as f64),
+            ("lint_errors".into(), lint.num_errors() as f64),
         ];
         if let Some(pp) = &pp {
             extra.push(("registers_encoded".into(), pp.report.after.latches as f64));
@@ -808,7 +938,7 @@ fn check_file(
              and both preprocessing regimes"
         );
     }
-    Ok(())
+    Ok(FileDisposition::Checked)
 }
 
 fn main() -> ExitCode {
@@ -831,6 +961,7 @@ fn main() -> ExitCode {
     let relaxed = args.iter().any(|a| a == "--relaxed");
     let deterministic = args.iter().any(|a| a == "--deterministic");
     let no_preprocess = args.iter().any(|a| a == "--no-preprocess");
+    let lint_mode = parse_lint_mode(&args);
     // `--engine portfolio` is sugar for `--portfolio` with the full-mode
     // roster (BMC grid + IC3 + induction racing for the first conclusive
     // verdict); the other labels pick a single engine for every file.
@@ -953,6 +1084,7 @@ fn main() -> ExitCode {
         "--witness-dir",
         "--json-out",
         "--export-corpus",
+        "--lint",
     ];
     let mut positional: Option<PathBuf> = None;
     let mut skip = false;
@@ -977,7 +1109,7 @@ fn main() -> ExitCode {
              [--engine bmc|ic3|induction|portfolio] \
              [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
              [--jobs N] [--shard by-property|by-depth|striped|work-stealing] \
-             [--relaxed] [--deterministic] [--no-preprocess] \
+             [--relaxed] [--deterministic] [--no-preprocess] [--lint off|warn|deny] \
              [--portfolio] [--portfolio-mode strategies|reuse|full] \
              [--selfcheck] [--smoke] [--witness-dir DIR] [--json-out PATH | --no-json]"
         );
@@ -1083,19 +1215,28 @@ fn main() -> ExitCode {
             reuse.label(),
             strategy.label(),
             quiet_witnesses,
+            lint_mode,
             &mut out,
             &mut cases,
         );
         (out, cases, result)
     });
+    let mut skipped = 0usize;
     for (out, cases, result) in outcomes {
         print!("{out}");
         for case in cases {
             report.push(case);
         }
-        if let Err(e) = result {
-            eprintln!("FAIL {e}");
-            failures += 1;
+        match result {
+            Ok(FileDisposition::Checked) => {}
+            Ok(FileDisposition::Skipped(reason)) => {
+                eprintln!("SKIP {reason}");
+                skipped += 1;
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                failures += 1;
+            }
         }
     }
     let falsified = report
@@ -1112,16 +1253,39 @@ fn main() -> ExitCode {
         .iter()
         .filter(|c| c.extra.iter().any(|(k, v)| k == "proved" && *v > 0.0))
         .count();
+    // Lint totals, one contribution per file (every property of a file
+    // carries the same counts; skipped files contribute via their one case).
+    let (mut lint_warnings, mut lint_errors) = (0u64, 0u64);
+    let mut seen_stems = std::collections::HashSet::new();
+    for case in &report.cases {
+        let stem = case.name.split("::").next().unwrap_or(&case.name);
+        if seen_stems.insert(stem.to_string()) {
+            for (k, v) in &case.extra {
+                match k.as_str() {
+                    "lint_warnings" => lint_warnings += *v as u64,
+                    "lint_errors" => lint_errors += *v as u64,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let properties = report.cases.len() - skipped;
     println!(
         "\nchecked {} files / {} properties in {:.3}s: {} falsified (witnesses validated), \
-         {} proved (invariants checked), {} open, {} failures",
-        files.len(),
-        report.cases.len(),
+         {} proved (invariants checked), {} open, {} skipped, {} failures; \
+         lint: {} warning{}, {} error{}",
+        files.len() - skipped,
+        properties,
         start.elapsed().as_secs_f64(),
         falsified,
         proved,
-        report.cases.len() - falsified - proved,
+        properties - falsified - proved,
+        skipped,
         failures,
+        lint_warnings,
+        if lint_warnings == 1 { "" } else { "s" },
+        lint_errors,
+        if lint_errors == 1 { "" } else { "s" },
     );
     rbmc_bench::report::emit(&args, "corpus", &report);
     if failures > 0 {

@@ -232,7 +232,11 @@ mod tests {
 
     #[test]
     fn json_out_path_flags() {
-        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(
             json_out_path(&args(&[]), "table1"),
             Some(PathBuf::from("BENCH_table1.json"))

@@ -17,29 +17,23 @@ use crate::{Aig, AigLit, LatchInit};
 
 /// Error produced when parsing an AIGER file fails.
 ///
-/// ASCII (`aag`) errors carry the 1-based line; binary (`aig`) errors
-/// additionally carry the byte offset of the failure, which stays meaningful
-/// inside the delta-encoded AND section where lines do not exist.
+/// Every error carries the byte offset of the failure — the only position
+/// that stays meaningful inside the delta-encoded binary AND section, and
+/// the robustness contract the fuzz suite enforces: truncated, bit-flipped,
+/// or otherwise adversarial input must yield a positioned error, never a
+/// panic. ASCII-attributable failures additionally carry the 1-based line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseAigerError {
     line: usize,
-    offset: Option<usize>,
+    offset: usize,
     message: String,
 }
 
 impl ParseAigerError {
-    fn new(line: usize, message: impl Into<String>) -> ParseAigerError {
-        ParseAigerError {
-            line,
-            offset: None,
-            message: message.into(),
-        }
-    }
-
     fn at_byte(offset: usize, line: usize, message: impl Into<String>) -> ParseAigerError {
         ParseAigerError {
             line,
-            offset: Some(offset),
+            offset,
             message: message.into(),
         }
     }
@@ -50,26 +44,43 @@ impl ParseAigerError {
         self.line
     }
 
-    /// The byte offset of the error, when the failing section is binary.
-    pub fn offset(&self) -> Option<usize> {
+    /// The byte offset of the failure within the input (the input length
+    /// when the problem is that the file ended too early).
+    pub fn offset(&self) -> usize {
         self.offset
     }
 }
 
 impl fmt::Display for ParseAigerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.offset {
-            Some(offset) => write!(
+        if self.line == 0 {
+            write!(f, "aiger error at byte {}: {}", self.offset, self.message)
+        } else {
+            write!(
                 f,
-                "aiger error at byte {offset} (line {}): {}",
-                self.line, self.message
-            ),
-            None => write!(f, "aiger error on line {}: {}", self.line, self.message),
+                "aiger error at byte {} (line {}): {}",
+                self.offset, self.line, self.message
+            )
         }
     }
 }
 
 impl Error for ParseAigerError {}
+
+/// A parse position — byte offset plus 1-based line — threaded through the
+/// section model so errors discovered during assembly (dangling literals,
+/// redefined variables) still point at the source bytes that caused them.
+#[derive(Clone, Copy, Debug)]
+struct Pos {
+    offset: usize,
+    line: usize,
+}
+
+impl Pos {
+    fn err(self, message: impl Into<String>) -> ParseAigerError {
+        ParseAigerError::at_byte(self.offset, self.line, message)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Shared section model: both parsers collect these and assemble one way.
@@ -79,20 +90,23 @@ struct LatchLine {
     own_var: usize,
     next_code: usize,
     reset: usize,
+    pos: Pos,
 }
 
 struct AndLine {
     lhs_var: usize,
     rhs0: usize,
     rhs1: usize,
+    pos: Pos,
 }
 
-/// Everything both encodings share once their sections are tokenized.
+/// Everything both encodings share once their sections are tokenized. Each
+/// entry keeps the position of the line (or varint pair) that declared it.
 struct Sections {
-    input_vars: Vec<usize>,
+    input_vars: Vec<(usize, Pos)>,
     latches: Vec<LatchLine>,
-    output_codes: Vec<usize>,
-    bad_codes: Vec<usize>,
+    output_codes: Vec<(usize, Pos)>,
+    bad_codes: Vec<(usize, Pos)>,
     ands: Vec<AndLine>,
     symbols: HashMap<String, String>,
 }
@@ -113,10 +127,10 @@ fn assemble(sections: Sections) -> Result<Aig, ParseAigerError> {
     let mut aig = Aig::new();
     let mut lit_of_var: HashMap<usize, AigLit> = HashMap::new();
     lit_of_var.insert(0, AigLit::FALSE);
-    for &v in &input_vars {
+    for &(v, pos) in &input_vars {
         let lit = aig.add_input();
         if lit_of_var.insert(v, lit).is_some() {
-            return Err(ParseAigerError::new(0, format!("variable {v} redefined")));
+            return Err(pos.err(format!("variable {v} redefined")));
         }
     }
     for line in &latches {
@@ -125,15 +139,12 @@ fn assemble(sections: Sections) -> Result<Aig, ParseAigerError> {
             1 => LatchInit::One,
             r if r == line.own_var * 2 => LatchInit::Free,
             other => {
-                return Err(ParseAigerError::new(0, format!("bad reset {other}")));
+                return Err(line.pos.err(format!("bad reset {other}")));
             }
         };
         let lit = aig.add_latch(init);
         if lit_of_var.insert(line.own_var, lit).is_some() {
-            return Err(ParseAigerError::new(
-                0,
-                format!("variable {} redefined", line.own_var),
-            ));
+            return Err(line.pos.err(format!("variable {} redefined", line.own_var)));
         }
     }
     // Resolve AND gates; AIGER guarantees rhs < lhs in well-formed files, but
@@ -156,37 +167,34 @@ fn assemble(sections: Sections) -> Result<Aig, ParseAigerError> {
             }
         });
         if remaining.len() == before {
-            return Err(ParseAigerError::new(
-                0,
-                "cyclic or dangling AND definitions",
-            ));
+            return Err(remaining[0].pos.err("cyclic or dangling AND definitions"));
         }
     }
-    let resolve = |code: usize| -> Result<AigLit, ParseAigerError> {
+    let resolve = |code: usize, pos: Pos| -> Result<AigLit, ParseAigerError> {
         let base = lit_of_var
             .get(&(code / 2))
             .copied()
-            .ok_or_else(|| ParseAigerError::new(0, format!("undefined literal {code}")))?;
+            .ok_or_else(|| pos.err(format!("undefined literal {code}")))?;
         Ok(if code % 2 == 1 { !base } else { base })
     };
     for line in &latches {
         let own = lit_of_var[&line.own_var];
-        aig.set_next(own, resolve(line.next_code)?);
+        aig.set_next(own, resolve(line.next_code, line.pos)?);
     }
-    for (idx, &code) in output_codes.iter().enumerate() {
+    for (idx, &(code, pos)) in output_codes.iter().enumerate() {
         let name = symbols
             .get(&format!("o{idx}"))
             .cloned()
             .unwrap_or_else(|| format!("o{idx}"));
-        let lit = resolve(code)?;
+        let lit = resolve(code, pos)?;
         aig.add_output(&name, lit);
     }
-    for (idx, &code) in bad_codes.iter().enumerate() {
+    for (idx, &(code, pos)) in bad_codes.iter().enumerate() {
         let name = symbols
             .get(&format!("b{idx}"))
             .cloned()
             .unwrap_or_else(|| format!("b{idx}"));
-        let lit = resolve(code)?;
+        let lit = resolve(code, pos)?;
         aig.add_bad(&name, lit);
     }
     Ok(aig)
@@ -202,20 +210,32 @@ struct Header {
     b: usize,
 }
 
+/// Every header count is capped far below `usize::MAX` so downstream
+/// arithmetic — literal codes `2v + 1`, the binary `M = I + L + A` check,
+/// the implicit binary lhs `2 * (I + L + 1 + idx)` — can never overflow no
+/// matter what an adversarial header declares.
+const MAX_HEADER_COUNT: usize = usize::MAX / 8;
+
 fn parse_header(line: &str, magic: &str) -> Result<Header, ParseAigerError> {
+    let at_header = |message: String| ParseAigerError::at_byte(0, 1, message);
     let fields: Vec<&str> = line.split_whitespace().collect();
     if fields.len() < 6 || fields.len() > 10 || fields[0] != magic {
-        return Err(ParseAigerError::new(
-            1,
-            format!("malformed header (want `{magic} M I L O A [B [C [J [F]]]]`)"),
-        ));
+        return Err(at_header(format!(
+            "malformed header (want `{magic} M I L O A [B [C [J [F]]]]`)"
+        )));
     }
     let num = |idx: usize| -> Result<usize, ParseAigerError> {
         match fields.get(idx) {
             None => Ok(0),
-            Some(s) => s
-                .parse()
-                .map_err(|_| ParseAigerError::new(1, format!("bad number `{s}`"))),
+            Some(s) => {
+                let n: usize = s
+                    .parse()
+                    .map_err(|_| at_header(format!("bad number `{s}`")))?;
+                if n > MAX_HEADER_COUNT {
+                    return Err(at_header(format!("header count {n} is too large")));
+                }
+                Ok(n)
+            }
         }
     };
     let header = Header {
@@ -228,10 +248,7 @@ fn parse_header(line: &str, magic: &str) -> Result<Header, ParseAigerError> {
     };
     for (idx, section) in [(7, "constraint"), (8, "justice"), (9, "fairness")] {
         if num(idx)? != 0 {
-            return Err(ParseAigerError::new(
-                1,
-                format!("{section} sections are not supported"),
-            ));
+            return Err(at_header(format!("{section} sections are not supported")));
         }
     }
     Ok(header)
@@ -351,29 +368,41 @@ pub fn write_aag(aig: &Aig) -> String {
 /// Returns [`ParseAigerError`] on malformed headers, out-of-range literals,
 /// counts that do not match the header, or AND definitions that form a cycle.
 pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
-    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    // Line iterator that tracks the byte offset of every line start, so each
+    // diagnostic can point into the raw input.
+    let mut byte = 0usize;
+    let mut lines = text.split_inclusive('\n').enumerate().map(move |(i, raw)| {
+        let pos = Pos {
+            offset: byte,
+            line: i + 1,
+        };
+        byte += raw.len();
+        (pos, raw.strip_suffix('\n').unwrap_or(raw))
+    });
     let (_, header) = lines
         .next()
-        .ok_or_else(|| ParseAigerError::new(1, "empty file"))?;
+        .ok_or_else(|| ParseAigerError::at_byte(0, 1, "empty file"))?;
     let header = parse_header(header, "aag")?;
     let Header { m, i, l, o, a, b } = header;
-    let parse_num = |s: &str, line: usize| -> Result<usize, ParseAigerError> {
-        s.parse()
-            .map_err(|_| ParseAigerError::new(line, format!("bad number `{s}`")))
+    let parse_num = |s: &str, pos: Pos| -> Result<usize, ParseAigerError> {
+        s.parse().map_err(|_| pos.err(format!("bad number `{s}`")))
     };
 
+    // Cap pre-allocation: the header is untrusted, so a declared count buys
+    // at most a modest reservation up front.
+    let cap = |n: usize| n.min(1 << 16);
     let mut sections = Sections {
-        input_vars: Vec::with_capacity(i),
-        latches: Vec::with_capacity(l),
-        output_codes: Vec::with_capacity(o),
-        bad_codes: Vec::with_capacity(b),
-        ands: Vec::with_capacity(a),
+        input_vars: Vec::with_capacity(cap(i)),
+        latches: Vec::with_capacity(cap(l)),
+        output_codes: Vec::with_capacity(cap(o)),
+        bad_codes: Vec::with_capacity(cap(b)),
+        ands: Vec::with_capacity(cap(a)),
         symbols: HashMap::new(),
     };
 
     let mut section_counts = [i, l, o, b, a];
     let mut section = 0usize;
-    for (lineno, raw) in lines {
+    for (pos, raw) in lines {
         let line = raw.trim();
         if line.is_empty() {
             continue;
@@ -398,22 +427,19 @@ pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
             section += 1;
         }
         if section == 5 {
-            return Err(ParseAigerError::new(lineno, "unexpected extra line"));
+            return Err(pos.err("unexpected extra line"));
         }
         section_counts[section] -= 1;
         let nums: Vec<usize> = {
             let mut v = Vec::new();
             for tok in line.split_whitespace() {
-                v.push(parse_num(tok, lineno)?);
+                v.push(parse_num(tok, pos)?);
             }
             v
         };
-        let check_lit = |code: usize, lineno: usize| -> Result<usize, ParseAigerError> {
+        let check_lit = |code: usize, pos: Pos| -> Result<usize, ParseAigerError> {
             if code / 2 > m {
-                Err(ParseAigerError::new(
-                    lineno,
-                    format!("literal {code} exceeds M"),
-                ))
+                Err(pos.err(format!("literal {code} exceeds M")))
             } else {
                 Ok(code)
             }
@@ -421,56 +447,58 @@ pub fn parse_aag(text: &str) -> Result<Aig, ParseAigerError> {
         match section {
             0 => {
                 if nums.len() != 1 || !nums[0].is_multiple_of(2) || nums[0] == 0 {
-                    return Err(ParseAigerError::new(lineno, "malformed input line"));
+                    return Err(pos.err("malformed input line"));
                 }
-                sections.input_vars.push(check_lit(nums[0], lineno)? / 2);
+                sections
+                    .input_vars
+                    .push((check_lit(nums[0], pos)? / 2, pos));
             }
             1 => {
                 if !(nums.len() == 2 || nums.len() == 3)
                     || !nums[0].is_multiple_of(2)
                     || nums[0] == 0
                 {
-                    return Err(ParseAigerError::new(lineno, "malformed latch line"));
+                    return Err(pos.err("malformed latch line"));
                 }
                 sections.latches.push(LatchLine {
-                    own_var: check_lit(nums[0], lineno)? / 2,
-                    next_code: check_lit(nums[1], lineno)?,
+                    own_var: check_lit(nums[0], pos)? / 2,
+                    next_code: check_lit(nums[1], pos)?,
                     reset: if nums.len() == 3 { nums[2] } else { 0 },
+                    pos,
                 });
             }
             2 | 3 => {
                 if nums.len() != 1 {
-                    return Err(ParseAigerError::new(
-                        lineno,
-                        if section == 2 {
-                            "malformed output line"
-                        } else {
-                            "malformed bad-state line"
-                        },
-                    ));
+                    return Err(pos.err(if section == 2 {
+                        "malformed output line"
+                    } else {
+                        "malformed bad-state line"
+                    }));
                 }
-                let code = check_lit(nums[0], lineno)?;
+                let code = check_lit(nums[0], pos)?;
                 if section == 2 {
-                    sections.output_codes.push(code);
+                    sections.output_codes.push((code, pos));
                 } else {
-                    sections.bad_codes.push(code);
+                    sections.bad_codes.push((code, pos));
                 }
             }
             4 => {
                 if nums.len() != 3 || !nums[0].is_multiple_of(2) || nums[0] == 0 {
-                    return Err(ParseAigerError::new(lineno, "malformed and line"));
+                    return Err(pos.err("malformed and line"));
                 }
                 sections.ands.push(AndLine {
-                    lhs_var: check_lit(nums[0], lineno)? / 2,
-                    rhs0: check_lit(nums[1], lineno)?,
-                    rhs1: check_lit(nums[2], lineno)?,
+                    lhs_var: check_lit(nums[0], pos)? / 2,
+                    rhs0: check_lit(nums[1], pos)?,
+                    rhs1: check_lit(nums[2], pos)?,
+                    pos,
                 });
             }
             _ => unreachable!(),
         }
     }
     if section_counts.iter().any(|&c| c != 0) {
-        return Err(ParseAigerError::new(
+        return Err(ParseAigerError::at_byte(
+            text.len(),
             0,
             "fewer lines than the header declares",
         ));
@@ -576,6 +604,15 @@ impl<'a> Cursor<'a> {
         ParseAigerError::at_byte(self.pos, self.line, message)
     }
 
+    /// The current position as a [`Pos`], recorded into section entries so
+    /// assembly-stage errors can point back at their source bytes.
+    fn mark(&self) -> Pos {
+        Pos {
+            offset: self.pos,
+            line: self.line,
+        }
+    }
+
     /// Reads one `\n`-terminated ASCII line (without the terminator).
     fn ascii_line(&mut self) -> Result<&'a str, ParseAigerError> {
         let start = self.pos;
@@ -625,12 +662,13 @@ impl<'a> Cursor<'a> {
 pub fn parse_aig(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     let mut cur = Cursor::new(bytes);
     if bytes.is_empty() {
-        return Err(ParseAigerError::new(1, "empty file"));
+        return Err(ParseAigerError::at_byte(0, 1, "empty file"));
     }
     let header = parse_header(cur.ascii_line()?, "aig")?;
     let Header { m, i, l, o, a, b } = header;
     if m != i + l + a {
-        return Err(ParseAigerError::new(
+        return Err(ParseAigerError::at_byte(
+            0,
             1,
             format!("binary header requires M = I + L + A, got {m} != {i} + {l} + {a}"),
         ));
@@ -651,18 +689,22 @@ pub fn parse_aig(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
         }
     };
 
+    let cap = |n: usize| n.min(1 << 16);
+    let header_pos = Pos { offset: 0, line: 1 };
     let mut sections = Sections {
         // Binary numbering is implicit and dense: inputs are variables
-        // 1..=I, latches I+1..=I+L, ANDs I+L+1..=M.
-        input_vars: (1..=i).collect(),
-        latches: Vec::with_capacity(l),
-        output_codes: Vec::with_capacity(o),
-        bad_codes: Vec::with_capacity(b),
-        ands: Vec::with_capacity(a),
+        // 1..=I, latches I+1..=I+L, ANDs I+L+1..=M. Implicit inputs have no
+        // bytes of their own, so they all point at the header.
+        input_vars: (1..=i).map(|v| (v, header_pos)).collect(),
+        latches: Vec::with_capacity(cap(l)),
+        output_codes: Vec::with_capacity(cap(o)),
+        bad_codes: Vec::with_capacity(cap(b)),
+        ands: Vec::with_capacity(cap(a)),
         symbols: HashMap::new(),
     };
     for j in 0..l {
         let own_var = i + 1 + j;
+        let pos = cur.mark();
         let line = cur.ascii_line()?;
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.is_empty() || toks.len() > 2 {
@@ -676,20 +718,24 @@ pub fn parse_aig(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
             } else {
                 0
             },
+            pos,
         });
     }
     for _ in 0..o {
+        let pos = cur.mark();
         let line = cur.ascii_line()?;
         let code = check_lit(&cur, parse_num(&cur, line.trim())?)?;
-        sections.output_codes.push(code);
+        sections.output_codes.push((code, pos));
     }
     for _ in 0..b {
+        let pos = cur.mark();
         let line = cur.ascii_line()?;
         let code = check_lit(&cur, parse_num(&cur, line.trim())?)?;
-        sections.bad_codes.push(code);
+        sections.bad_codes.push((code, pos));
     }
     for idx in 0..a {
         let lhs = 2 * (i + l + 1 + idx);
+        let pos = cur.mark();
         let delta0 = cur.delta()?;
         if delta0 == 0 || delta0 > lhs {
             return Err(cur.error(format!("delta {delta0} breaks lhs > rhs0 at gate {idx}")));
@@ -703,6 +749,7 @@ pub fn parse_aig(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
             lhs_var: lhs / 2,
             rhs0,
             rhs1: rhs0 - delta1,
+            pos,
         });
     }
     // Symbol table and comments (both optional, both ASCII).
@@ -740,11 +787,15 @@ pub fn parse_aiger(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     if bytes.starts_with(b"aig ") {
         parse_aig(bytes)
     } else if bytes.starts_with(b"aag ") {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|_| ParseAigerError::new(1, "aag file is not valid UTF-8"))?;
+        let text = std::str::from_utf8(bytes).map_err(|e| {
+            let at = e.valid_up_to();
+            let line = bytes[..at].iter().filter(|&&c| c == b'\n').count() + 1;
+            ParseAigerError::at_byte(at, line, "aag file is not valid UTF-8")
+        })?;
         parse_aag(text)
     } else {
-        Err(ParseAigerError::new(
+        Err(ParseAigerError::at_byte(
+            0,
             1,
             "unrecognized header (want `aag` or `aig` magic)",
         ))
@@ -978,8 +1029,57 @@ mod tests {
         let bytes = write_aig(&aig);
         let truncated = &bytes[..bytes.len().min(14)];
         let err = parse_aig(truncated).unwrap_err();
-        assert!(err.offset().is_some(), "binary error must carry an offset");
+        assert!(
+            err.offset() > 0 && err.offset() <= truncated.len(),
+            "binary error must point into the input, got byte {}",
+            err.offset()
+        );
         assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn ascii_errors_carry_byte_offsets() {
+        // The malformed latch line starts right after "aag 1 0 1 0 0\n".
+        let text = "aag 1 0 1 0 0\n2 bogus\n";
+        let err = parse_aag(text).unwrap_err();
+        assert_eq!(err.offset(), 14);
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn assembly_errors_point_at_the_offending_line() {
+        // Output literal 4 names a variable the file never defines; the
+        // error surfaces during assembly but must cite the output line,
+        // which starts at byte 16 ("aag 2 1 0 1 0\n2\n").
+        let err = parse_aag("aag 2 1 0 1 0\n2\n4\n").unwrap_err();
+        assert!(err.to_string().contains("undefined literal"));
+        assert_eq!(err.offset(), 16);
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn truncation_error_points_at_end_of_file() {
+        let text = "aag 2 2 0 0 0\n2\n";
+        let err = parse_aag(text).unwrap_err();
+        assert!(err.to_string().contains("fewer lines"));
+        assert_eq!(err.offset(), text.len());
+    }
+
+    #[test]
+    fn invalid_utf8_error_points_at_first_bad_byte() {
+        let mut bytes = b"aag 1 0 1 0 0 1\n2 3\n2\n".to_vec();
+        bytes[17] = 0xff;
+        let err = parse_aiger(&bytes).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"));
+        assert_eq!(err.offset(), 17);
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn oversized_header_counts_are_rejected() {
+        let text = format!("aag {0} {0} 0 0 0\n", usize::MAX / 2);
+        let err = parse_aag(&text).unwrap_err();
+        assert!(err.to_string().contains("too large"));
     }
 
     #[test]
@@ -995,6 +1095,6 @@ mod tests {
         // delta0 = 0 would make rhs0 == lhs.
         let err = parse_aig(b"aig 1 0 0 0 1\n\x00\x00").unwrap_err();
         assert!(err.to_string().contains("lhs > rhs0"));
-        assert!(err.offset().is_some());
+        assert!(err.offset() >= 14, "must point into the AND section");
     }
 }

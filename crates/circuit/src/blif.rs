@@ -150,8 +150,12 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
                     }
                     saw_model = true;
                 }
-                ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
-                ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+                ".inputs" => {
+                    inputs.extend(tokens[1..].iter().map(std::string::ToString::to_string));
+                }
+                ".outputs" => {
+                    outputs.extend(tokens[1..].iter().map(std::string::ToString::to_string));
+                }
                 ".latch" => {
                     // .latch input output [type control] [init]
                     let (next, output, init_tok) = match tokens.len() {
@@ -188,7 +192,7 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
                     let output = tokens[tokens.len() - 1].to_string();
                     let ins = tokens[1..tokens.len() - 1]
                         .iter()
-                        .map(|s| s.to_string())
+                        .map(std::string::ToString::to_string)
                         .collect();
                     current_names = Some(NamesBlock {
                         line: lineno,

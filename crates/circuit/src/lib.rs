@@ -44,6 +44,7 @@
 pub mod aiger;
 pub mod blif;
 pub mod coi;
+pub mod lint;
 pub mod preprocess;
 pub mod sim;
 pub mod stats;

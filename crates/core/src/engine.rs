@@ -822,6 +822,18 @@ impl BmcEngine {
                     solver.prune_cdg();
                 }
             }
+            // Depth boundary, `debug-invariants` builds: full structural
+            // audit of the session solver (watches, trail, arena, CDG) and
+            // of the rank table's sparse/dense agreement.
+            #[cfg(feature = "debug-invariants")]
+            {
+                if let Some(solver) = session.as_ref() {
+                    solver.audit().expect("solver invariants at depth boundary");
+                }
+                self.rank
+                    .audit()
+                    .expect("rank-table invariants at depth boundary");
+            }
             if resource_out.is_some() {
                 break 'depths;
             }
@@ -1092,7 +1104,7 @@ mod tests {
             );
             match engine.run() {
                 BmcOutcome::BoundReached { depth_completed } => {
-                    assert_eq!(depth_completed, 12, "{strategy:?}")
+                    assert_eq!(depth_completed, 12, "{strategy:?}");
                 }
                 other => panic!("{strategy:?}: expected bound reached, got {other:?}"),
             }

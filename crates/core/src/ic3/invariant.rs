@@ -120,7 +120,7 @@ pub fn check_invariant(
     clauses: &[InvariantClause],
 ) -> Result<(), InvariantError> {
     let unroller = Unroller::new(model);
-    let latches = model.netlist().latches().to_vec();
+    let latches = model.netlist().latches().clone();
 
     // 1. Initiation: I ∧ ¬c is UNSAT for every clause c. ¬c pins each of
     // the clause's latches to the literal's complement; the initial-state

@@ -515,7 +515,7 @@ fn run_property_session(
     for k in 0..=options.max_depth {
         let depth_start = Instant::now();
         let base = solver.stats().clone();
-        for clause in prefix.frame_delta(k).iter() {
+        for clause in prefix.frame_delta(k) {
             solver.add_clause(clause.lits());
         }
         let act = BmcEngine::activation_lit(&unroller, options, 1, k, 0);
@@ -603,7 +603,7 @@ fn run_by_depth(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         .problem()
         .properties()
         .iter()
-        .map(|p| p.bad())
+        .map(super::problem::Property::bad)
         .collect();
 
     let mut rank = engine.rank().clone();
@@ -662,7 +662,7 @@ fn run_fresh_episode(
     let unroller = Unroller::new(model);
     let mut solver = Solver::with_options(strategy_solver_options(options));
     solver.reserve_vars(unroller.num_vars_at(k));
-    for clause in prefix.prefix(k).iter() {
+    for clause in prefix.prefix(k) {
         solver.add_clause(clause.lits());
     }
     solver.add_clause(&[unroller.lit_of(bad, k)]);
@@ -1239,7 +1239,7 @@ mod tests {
         let par = mk(SolverReuse::Fresh, Some(ParallelConfig::by_depth(4)));
         match (&seq.outcome, &par.outcome) {
             (BmcOutcome::ResourceOut { at_depth: a }, BmcOutcome::ResourceOut { at_depth: b }) => {
-                assert_eq!(a, b)
+                assert_eq!(a, b);
             }
             other => panic!("expected matching resource-out, got {other:?}"),
         }

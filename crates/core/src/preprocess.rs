@@ -138,7 +138,11 @@ pub struct PreprocessedProblem {
 /// observe, sweeping only replaces latches provably stuck at their reset
 /// value, and hashing merges gates computing identical functions.
 pub fn preprocess_problem(problem: &VerificationProblem) -> PreprocessedProblem {
-    let seeds: Vec<_> = problem.properties().iter().map(|p| p.bad()).collect();
+    let seeds: Vec<_> = problem
+        .properties()
+        .iter()
+        .map(super::problem::Property::bad)
+        .collect();
     let pp = preprocess(problem.netlist(), &seeds);
     let lift = TraceLift::new(problem.netlist(), &pp);
     let mut builder = ProblemBuilder::new(problem.name(), pp.netlist.clone());

@@ -154,7 +154,7 @@ impl VarRank {
         if let RankStore::Sparse(map) = &self.store {
             if map.len() * DENSE_PROMOTION_DIVISOR >= self.len && self.len > 0 {
                 let mut scores = vec![0u64; self.len];
-                for (&index, &score) in map.iter() {
+                for (&index, &score) in map {
                     scores[index] = score;
                 }
                 self.store = RankStore::Dense(scores);
@@ -200,7 +200,7 @@ impl VarRank {
         match &self.store {
             RankStore::Sparse(map) => {
                 let mut scores = vec![0u64; self.len];
-                for (&index, &score) in map.iter() {
+                for (&index, &score) in map {
                     scores[index] = score;
                 }
                 scores
@@ -254,6 +254,73 @@ impl VarRank {
     /// The weighting scheme in use.
     pub fn weighting(&self) -> Weighting {
         self.weighting
+    }
+
+    /// Structural self-check of the table: the current representation must
+    /// be internally consistent (sparse keys in bounds and non-zero, dense
+    /// storage no longer than the advertised length), and every observable
+    /// — [`VarRank::score`], [`VarRank::snapshot`], [`VarRank::num_ranked`]
+    /// — must agree with a freshly materialized dense view, which is the
+    /// sparse/dense equivalence contract the promotion machinery promises.
+    ///
+    /// O(len); called at depth boundaries by the engine's
+    /// `debug-invariants` builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        match &self.store {
+            RankStore::Sparse(map) => {
+                for (&index, &score) in map {
+                    if index >= self.len {
+                        return Err(format!(
+                            "rank: sparse key {index} beyond advertised length {}",
+                            self.len
+                        ));
+                    }
+                    if score == 0 {
+                        return Err(format!("rank: sparse entry {index} stores a zero score"));
+                    }
+                }
+            }
+            RankStore::Dense(scores) => {
+                if scores.len() > self.len {
+                    return Err(format!(
+                        "rank: dense storage of {} entries exceeds advertised length {}",
+                        scores.len(),
+                        self.len
+                    ));
+                }
+            }
+        }
+        let snapshot = self.snapshot();
+        if snapshot.len() != self.len {
+            return Err(format!(
+                "rank: snapshot length {} != advertised length {}",
+                snapshot.len(),
+                self.len
+            ));
+        }
+        let mut nonzero = 0usize;
+        for (index, &score) in snapshot.iter().enumerate() {
+            if self.score(Var::new(index)) != score {
+                return Err(format!(
+                    "rank: score({index}) = {} disagrees with snapshot {score}",
+                    self.score(Var::new(index))
+                ));
+            }
+            if score > 0 {
+                nonzero += 1;
+            }
+        }
+        if nonzero != self.num_ranked() {
+            return Err(format!(
+                "rank: num_ranked() = {} but the snapshot has {nonzero} non-zero scores",
+                self.num_ranked()
+            ));
+        }
+        Ok(())
     }
 }
 

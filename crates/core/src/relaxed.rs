@@ -137,7 +137,9 @@ pub(crate) fn run_striped(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         reports.push(out.report);
         session_stats.accumulate(&out.stats);
     }
-    let cancelled = cancel.as_ref().is_some_and(|c| c.is_cancelled());
+    let cancelled = cancel
+        .as_ref()
+        .is_some_and(rbmc_solver::CancelFlag::is_cancelled);
     let mut groups: Vec<GroupOutcome> = (0..num_props)
         .map(|p| GroupOutcome::fresh(&model, p))
         .collect();
@@ -197,7 +199,10 @@ fn run_striped_worker(ctx: &StripedCtx<'_, '_>, w: usize) -> StripedOut {
 
     let mut k = w;
     while k <= options.max_depth {
-        if ctx.cancel.is_some_and(|c| c.is_cancelled()) {
+        if ctx
+            .cancel
+            .is_some_and(rbmc_solver::CancelFlag::is_cancelled)
+        {
             break;
         }
         if k > ctx.unknown_min.load(Ordering::Relaxed) {
@@ -209,7 +214,7 @@ fn run_striped_worker(ctx: &StripedCtx<'_, '_>, w: usize) -> StripedOut {
             break;
         }
         while loaded <= k {
-            for clause in ctx.prefix.frame_delta(loaded).iter() {
+            for clause in ctx.prefix.frame_delta(loaded) {
                 solver.add_clause(clause.lits());
             }
             loaded += 1;
@@ -482,7 +487,7 @@ fn advance_task(
     let k = task.next_depth;
     let start = Instant::now();
     while task.loaded <= k {
-        for clause in ctx.prefix.frame_delta(task.loaded).iter() {
+        for clause in ctx.prefix.frame_delta(task.loaded) {
             task.solver.add_clause(clause.lits());
         }
         task.loaded += 1;
@@ -666,7 +671,11 @@ mod tests {
         for shard in [ShardMode::Striped, ShardMode::WorkStealing] {
             let problem = counter_problem(4, &[11, 6]);
             let netlist = problem.netlist().clone();
-            let bads: Vec<Signal> = problem.properties().iter().map(|p| p.bad()).collect();
+            let bads: Vec<Signal> = problem
+                .properties()
+                .iter()
+                .map(super::super::problem::Property::bad)
+                .collect();
             let par = run(
                 problem,
                 OrderingStrategy::RefinedDynamic { divisor: 64 },

@@ -511,7 +511,7 @@ fn traffic(timer_bits: usize, buggy: bool) -> Model {
     let timer: Vec<Signal> = (0..timer_bits)
         .map(|i| n.add_latch(&format!("tm{i}"), LatchInit::Zero))
         .collect();
-    let timer_max = n.and_many(&timer.to_vec());
+    let timer_max = n.and_many(&timer.clone());
     let tick = n.bus_increment(&timer);
     // Advance the phase when the timer saturates (and reset the timer).
     let advance = timer_max;

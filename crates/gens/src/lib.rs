@@ -32,6 +32,8 @@ pub mod corpus;
 pub mod families;
 pub mod random;
 
+mod lint_suite;
 mod suite;
 
+pub use lint_suite::{lint_suite, LintSpecimen};
 pub use suite::{proof_suite, small_suite, suite_table1, BenchInstance, Expectation};

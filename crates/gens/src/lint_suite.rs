@@ -1,0 +1,156 @@
+//! Adversarial linter specimens: one hand-written AIGER file per diagnostic
+//! code of [`rbmc_circuit::lint`], each crafted to trigger **exactly** its
+//! intended code and nothing else, plus a clean control specimen.
+//!
+//! The suite is the linter's precision contract: the runner and CI lint
+//! every specimen and compare the reported code set against
+//! [`LintSpecimen::expect`], so a lint pass that becomes either noisier
+//! (extra codes on a specimen) or blinder (missing the intended code) fails
+//! the suite rather than silently shifting the corpus diagnostics.
+
+use rbmc_circuit::lint::{lint_aiger, LintCode, LintReport};
+
+/// One adversarial specimen: an ASCII AIGER file plus the exact diagnostic
+/// code set the linter must report for it.
+#[derive(Clone, Copy, Debug)]
+pub struct LintSpecimen {
+    /// Short identifier (stable; used in test output and CI logs).
+    pub name: &'static str,
+    /// What the specimen models and why it trips its code.
+    pub description: &'static str,
+    /// The ASCII AIGER text of the specimen.
+    pub aag: &'static str,
+    /// The exact diagnostic code the linter must report — or `None` for the
+    /// clean control specimen, which must lint empty.
+    pub expect: Option<LintCode>,
+}
+
+impl LintSpecimen {
+    /// Lints the specimen's AIGER text.
+    pub fn lint(&self) -> LintReport {
+        lint_aiger(self.aag.as_bytes())
+    }
+}
+
+/// The full specimen table: every [`LintCode`] once, then the clean control.
+pub fn lint_suite() -> Vec<LintSpecimen> {
+    vec![
+        LintSpecimen {
+            name: "constant_property",
+            description: "single output wired to constant true: the property \
+                          is decided without solving",
+            aag: "aag 0 0 0 0 0 1\n1\n",
+            expect: Some(LintCode::ConstantProperty),
+        },
+        LintSpecimen {
+            name: "register_free_coi",
+            description: "output reads an input directly; its cone holds no \
+                          register, so every depth checks the same formula",
+            aag: "aag 1 1 0 0 0 1\n2\n2\n",
+            expect: Some(LintCode::RegisterFreeCoi),
+        },
+        LintSpecimen {
+            name: "floating_input",
+            description: "an input outside the property cone (the latch only \
+                          observes itself)",
+            aag: "aag 2 1 1 0 0 1\n2\n4 5\n4\n",
+            expect: Some(LintCode::FloatingInput),
+        },
+        LintSpecimen {
+            name: "dead_latch",
+            description: "a second latch pair outside the property cone",
+            aag: "aag 2 0 2 0 0 1\n2 3\n4 5\n2\n",
+            expect: Some(LintCode::DeadLatch),
+        },
+        LintSpecimen {
+            name: "duplicate_property",
+            description: "two bad properties share the symbol name `p` (the \
+                          latch resets free so no reset diagnostic fires)",
+            aag: "aag 1 0 1 0 0 2\n2 3 2\n2\n3\nb0 p\nb1 p\n",
+            expect: Some(LintCode::DuplicateProperty),
+        },
+        LintSpecimen {
+            name: "aliased_property",
+            description: "two bad properties point at the same literal",
+            aag: "aag 1 0 1 0 0 2\n2 3\n2\n2\n",
+            expect: Some(LintCode::AliasedProperty),
+        },
+        LintSpecimen {
+            name: "reset_violation",
+            description: "the bad literal reads a latch that resets to one: \
+                          the property fails at depth 0 by construction",
+            aag: "aag 1 0 1 0 0 1\n2 3 1\n2\n",
+            expect: Some(LintCode::ResetViolation),
+        },
+        LintSpecimen {
+            name: "non_normalized_and",
+            description: "AND gate `6 2 4` lists its smaller fanin first, \
+                          violating the lhs > rhs0 >= rhs1 normal form",
+            aag: "aag 3 1 1 0 1 1\n2\n4 5\n6\n6 2 4\n",
+            expect: Some(LintCode::NonNormalizedAnd),
+        },
+        LintSpecimen {
+            name: "unsupported_section",
+            description: "header declares one C (invariant constraint) \
+                          section, which the pipeline cannot honour",
+            aag: "aag 1 0 1 0 0 1 1\n2 3\n2\n0\n",
+            expect: Some(LintCode::UnsupportedSection),
+        },
+        LintSpecimen {
+            name: "clean_toggle",
+            description: "self-toggling latch observed by its property: \
+                          every lint stays quiet (the control specimen)",
+            aag: "aag 1 0 1 0 0 1\n2 3\n2\n",
+            expect: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_specimen_triggers_exactly_its_code() {
+        for specimen in lint_suite() {
+            let report = specimen.lint();
+            let expected: Vec<LintCode> = specimen.expect.into_iter().collect();
+            assert_eq!(
+                report.codes(),
+                expected,
+                "specimen `{}` ({}) reported {:?}",
+                specimen.name,
+                specimen.description,
+                report.diagnostics()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_covers_every_diagnostic_code() {
+        let mut covered: Vec<LintCode> = lint_suite().iter().filter_map(|s| s.expect).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        let all = [
+            LintCode::ConstantProperty,
+            LintCode::RegisterFreeCoi,
+            LintCode::FloatingInput,
+            LintCode::DeadLatch,
+            LintCode::DuplicateProperty,
+            LintCode::AliasedProperty,
+            LintCode::ResetViolation,
+            LintCode::NonNormalizedAnd,
+            LintCode::UnsupportedSection,
+        ];
+        assert_eq!(covered, all, "one specimen per diagnostic code");
+    }
+
+    #[test]
+    fn specimen_names_are_unique() {
+        let mut names: Vec<&str> = lint_suite().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -32,13 +32,13 @@ impl ClauseRef {
     /// Re-creates a reference from a known-valid header offset (used when
     /// relocating references after compaction).
     #[inline]
-    pub fn at(offset: u32) -> ClauseRef {
+    pub(crate) fn at(offset: u32) -> ClauseRef {
         ClauseRef(offset)
     }
 
     /// The arena word offset of the clause header.
     #[inline]
-    pub fn offset(self) -> u32 {
+    pub(crate) fn offset(self) -> u32 {
         self.0
     }
 }
@@ -56,12 +56,12 @@ pub(crate) struct ClauseArena {
 
 impl ClauseArena {
     /// Creates an empty arena.
-    pub fn new() -> ClauseArena {
+    pub(crate) fn new() -> ClauseArena {
         ClauseArena::default()
     }
 
     /// Appends a clause record and returns its reference.
-    pub fn alloc(&mut self, lits: &[Lit], learned: bool, cdg_id: u32) -> ClauseRef {
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learned: bool, cdg_id: u32) -> ClauseRef {
         let cref = ClauseRef(self.data.len() as u32);
         let flags = if learned { LEARNED_BIT } else { 0 };
         self.data.reserve(HEADER_WORDS as usize + lits.len());
@@ -74,81 +74,81 @@ impl ClauseArena {
 
     /// One-past-the-end offset (where the next record will be allocated).
     #[inline]
-    pub fn end_offset(&self) -> u32 {
+    pub(crate) fn end_offset(&self) -> u32 {
         self.data.len() as u32
     }
 
     /// Number of literals in the clause.
     #[inline]
-    pub fn len(&self, c: ClauseRef) -> usize {
+    pub(crate) fn len(&self, c: ClauseRef) -> usize {
         (self.data[c.0 as usize] >> LEN_SHIFT) as usize
     }
 
     /// Whether the clause was learned (vs original).
     #[inline]
-    pub fn is_learned(&self, c: ClauseRef) -> bool {
+    pub(crate) fn is_learned(&self, c: ClauseRef) -> bool {
         self.data[c.0 as usize] & LEARNED_BIT != 0
     }
 
     /// Whether the clause is marked for deletion (transient: only between
     /// [`Self::mark_deleted`] and the next [`Self::compact_learned`]).
     #[inline]
-    pub fn is_deleted(&self, c: ClauseRef) -> bool {
+    pub(crate) fn is_deleted(&self, c: ClauseRef) -> bool {
         self.data[c.0 as usize] & DELETED_BIT != 0
     }
 
     /// Marks the clause for deletion by the next compaction.
     #[inline]
-    pub fn mark_deleted(&mut self, c: ClauseRef) {
+    pub(crate) fn mark_deleted(&mut self, c: ClauseRef) {
         self.data[c.0 as usize] |= DELETED_BIT;
     }
 
     /// The `i`-th literal of the clause.
     #[inline]
-    pub fn lit(&self, c: ClauseRef, i: usize) -> Lit {
+    pub(crate) fn lit(&self, c: ClauseRef, i: usize) -> Lit {
         Lit::from_code(self.data[(c.0 + HEADER_WORDS) as usize + i] as usize)
     }
 
     /// Swaps two literals of the clause (BCP watch maintenance).
     #[inline]
-    pub fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
+    pub(crate) fn swap_lits(&mut self, c: ClauseRef, i: usize, j: usize) {
         let base = (c.0 + HEADER_WORDS) as usize;
         self.data.swap(base + i, base + j);
     }
 
     /// Current activity counter of the clause.
     #[inline]
-    pub fn activity(&self, c: ClauseRef) -> u32 {
+    pub(crate) fn activity(&self, c: ClauseRef) -> u32 {
         self.data[c.0 as usize + 1]
     }
 
     /// Sets the activity counter.
     #[inline]
-    pub fn set_activity(&mut self, c: ClauseRef, value: u32) {
+    pub(crate) fn set_activity(&mut self, c: ClauseRef, value: u32) {
         self.data[c.0 as usize + 1] = value;
     }
 
     /// Increments the activity counter (saturating).
     #[inline]
-    pub fn bump_activity(&mut self, c: ClauseRef) {
+    pub(crate) fn bump_activity(&mut self, c: ClauseRef) {
         let slot = &mut self.data[c.0 as usize + 1];
         *slot = slot.saturating_add(1);
     }
 
     /// The clause's CDG pseudo-ID (for originals, the input position).
     #[inline]
-    pub fn cdg_id(&self, c: ClauseRef) -> u32 {
+    pub(crate) fn cdg_id(&self, c: ClauseRef) -> u32 {
         self.data[c.0 as usize + 2]
     }
 
     /// Overwrites the clause's CDG pseudo-ID (CDG pruning renumbers nodes).
     #[inline]
-    pub fn set_cdg_id(&mut self, c: ClauseRef, id: u32) {
+    pub(crate) fn set_cdg_id(&mut self, c: ClauseRef, id: u32) {
         self.data[c.0 as usize + 2] = id;
     }
 
     /// The first clause record, if any.
-    pub fn first(&self) -> Option<ClauseRef> {
+    pub(crate) fn first(&self) -> Option<ClauseRef> {
         if self.data.is_empty() {
             None
         } else {
@@ -157,7 +157,7 @@ impl ClauseArena {
     }
 
     /// The record following `c`, if any.
-    pub fn next(&self, c: ClauseRef) -> Option<ClauseRef> {
+    pub(crate) fn next(&self, c: ClauseRef) -> Option<ClauseRef> {
         let next = c.0 + HEADER_WORDS + self.len(c) as u32;
         if next < self.data.len() as u32 {
             Some(ClauseRef(next))
@@ -172,7 +172,7 @@ impl ClauseArena {
     /// order (suitable for binary search).
     ///
     /// Records below `first_learned` (the original clauses) never move.
-    pub fn compact_learned(&mut self, first_learned: u32) -> Vec<(u32, u32)> {
+    pub(crate) fn compact_learned(&mut self, first_learned: u32) -> Vec<(u32, u32)> {
         let mut remap = Vec::new();
         let mut read = first_learned as usize;
         let mut write = first_learned as usize;
@@ -196,7 +196,7 @@ impl ClauseArena {
     /// Halves the activity of every record at or after `first_learned`
     /// (applied after each reduction so future reductions favour recent
     /// relevance).
-    pub fn halve_learned_activities(&mut self, first_learned: u32) {
+    pub(crate) fn halve_learned_activities(&mut self, first_learned: u32) {
         let mut cursor = first_learned as usize;
         while cursor < self.data.len() {
             let len = (self.data[cursor] >> LEN_SHIFT) as usize;

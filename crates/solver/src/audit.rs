@@ -1,0 +1,483 @@
+//! Solver-state auditor (the `debug-invariants` feature).
+//!
+//! [`Solver::audit`] cross-checks the redundant data structures of the
+//! solver against each other: the watch lists against the clause arena, the
+//! trail against values/levels/reasons, the arena record chain against its
+//! own headers, and the CDG against the live-clause roots that
+//! [`Solver::prune_cdg`] keeps. The checks are O(database) and allocate, so
+//! they live behind a cargo feature and are invoked from the differential
+//! test suites (and internally after compaction and CDG pruning) rather
+//! than from production runs.
+//!
+//! The auditor is deliberately a *child module* of `solver`: it reads the
+//! private fields directly, so it can never drift into testing a sanitized
+//! accessor view instead of the real state.
+
+use std::collections::{HashMap, HashSet};
+
+use rbmc_cnf::Lit;
+
+use crate::cdg::ClauseId;
+use crate::lbool::LBool;
+
+use super::Solver;
+
+/// Shorthand: formats an audit failure.
+macro_rules! fail {
+    ($($arg:tt)*) => {
+        return Err(format!($($arg)*))
+    };
+}
+
+impl Solver {
+    /// Checks every internal invariant of the solver state, returning a
+    /// description of the first violation found.
+    ///
+    /// Intended for tests and the `debug-invariants` builds of the BMC
+    /// engine; with the feature enabled the solver also calls it after each
+    /// learned-database compaction and each CDG prune, turning every
+    /// differential test into a structural one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated invariant.
+    pub fn audit(&self) -> Result<(), String> {
+        let headers = self.audit_arena()?;
+        self.audit_watches(&headers)?;
+        self.audit_trail(&headers)?;
+        self.audit_cdg()?;
+        Ok(())
+    }
+
+    /// Walks the arena record chain: every header length must land the
+    /// cursor exactly on the next header (ending at `end_offset`), every
+    /// stored literal must name a known variable, and the patched
+    /// `original_refs` table must point at live original records. Returns
+    /// the set of valid header offsets for the cross-checks.
+    fn audit_arena(&self) -> Result<HashSet<u32>, String> {
+        let mut headers: HashSet<u32> = HashSet::new();
+        let mut cursor = self.clauses.first();
+        let mut last_end = 0u32;
+        while let Some(cref) = cursor {
+            let len = self.clauses.len(cref);
+            for i in 0..len {
+                let lit = self.clauses.lit(cref, i);
+                if lit.var().index() >= self.num_vars() {
+                    fail!(
+                        "arena: clause at {} holds literal of unknown var {}",
+                        cref.offset(),
+                        lit.var().index()
+                    );
+                }
+            }
+            if self.clauses.is_deleted(cref) && !self.clauses.is_learned(cref) {
+                fail!("arena: original clause at {} marked deleted", cref.offset());
+            }
+            headers.insert(cref.offset());
+            last_end = cref.offset() + 3 + len as u32;
+            cursor = self.clauses.next(cref);
+        }
+        if last_end != self.clauses.end_offset() {
+            fail!(
+                "arena: record chain ends at {last_end}, arena at {}",
+                self.clauses.end_offset()
+            );
+        }
+        if self.original_refs.len() != self.num_original {
+            fail!(
+                "arena: {} original refs vs num_original {}",
+                self.original_refs.len(),
+                self.num_original
+            );
+        }
+        for (pos, &cref) in self.original_refs.iter().enumerate() {
+            if !headers.contains(&cref.offset()) {
+                fail!(
+                    "arena: original {pos} points at non-header offset {}",
+                    cref.offset()
+                );
+            }
+            if self.clauses.is_learned(cref) {
+                fail!("arena: original {pos} resolved to a learned record");
+            }
+        }
+        for &cref in &self.pending_units {
+            if !headers.contains(&cref.offset()) {
+                fail!("arena: pending unit at non-header offset {}", cref.offset());
+            }
+        }
+        if let Some(empty) = self.empty_clause {
+            if !headers.contains(&empty.offset()) || self.clauses.len(empty) != 0 {
+                fail!("arena: empty-clause ref is not a length-0 record");
+            }
+        }
+        Ok(headers)
+    }
+
+    /// Watch-list consistency: every live clause of length ≥ 2 is watched
+    /// exactly once under each of its slot-0/slot-1 literals — in the binary
+    /// tier with the *other* literal inlined as `implied`, or in the long
+    /// tier with a blocker drawn from the clause body — and nothing else in
+    /// any list references it.
+    fn audit_watches(&self, headers: &HashSet<u32>) -> Result<(), String> {
+        if self.watches.len() != 2 * self.num_vars() {
+            fail!(
+                "watches: {} lists for {} vars",
+                self.watches.len(),
+                self.num_vars()
+            );
+        }
+        // offset -> watching literal codes seen so far.
+        let mut seen: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (code, lists) in self.watches.iter().enumerate() {
+            let watcher = Lit::from_code(code);
+            for w in &lists.bins {
+                let cref = w.clause;
+                if !headers.contains(&cref.offset()) {
+                    fail!("watches: bin entry at non-header offset {}", cref.offset());
+                }
+                if self.clauses.is_deleted(cref) {
+                    fail!(
+                        "watches: bin entry references deleted clause at {}",
+                        cref.offset()
+                    );
+                }
+                if self.clauses.len(cref) != 2 {
+                    fail!(
+                        "watches: length-{} clause at {} in the binary tier",
+                        self.clauses.len(cref),
+                        cref.offset()
+                    );
+                }
+                let (l0, l1) = (self.clauses.lit(cref, 0), self.clauses.lit(cref, 1));
+                let other = if watcher == l0 {
+                    l1
+                } else if watcher == l1 {
+                    l0
+                } else {
+                    fail!(
+                        "watches: {watcher:?} watches binary clause at {} without being in it",
+                        cref.offset()
+                    );
+                };
+                if w.implied != other {
+                    fail!(
+                        "watches: binary clause at {} caches implied {:?}, body says {:?}",
+                        cref.offset(),
+                        w.implied,
+                        other
+                    );
+                }
+                seen.entry(cref.offset()).or_default().push(code);
+            }
+            for w in &lists.longs {
+                let cref = w.clause;
+                if !headers.contains(&cref.offset()) {
+                    fail!("watches: long entry at non-header offset {}", cref.offset());
+                }
+                if self.clauses.is_deleted(cref) {
+                    fail!(
+                        "watches: long entry references deleted clause at {}",
+                        cref.offset()
+                    );
+                }
+                let len = self.clauses.len(cref);
+                if len < 3 {
+                    fail!(
+                        "watches: length-{len} clause at {} in the long tier",
+                        cref.offset()
+                    );
+                }
+                let (l0, l1) = (self.clauses.lit(cref, 0), self.clauses.lit(cref, 1));
+                if watcher != l0 && watcher != l1 {
+                    fail!(
+                        "watches: {watcher:?} watches clause at {} but slots 0/1 are {l0:?}/{l1:?}",
+                        cref.offset()
+                    );
+                }
+                let blocker_in_body = (0..len).any(|i| self.clauses.lit(cref, i) == w.blocker);
+                if !blocker_in_body {
+                    fail!(
+                        "watches: blocker {:?} of clause at {} is not in the clause",
+                        w.blocker,
+                        cref.offset()
+                    );
+                }
+                seen.entry(cref.offset()).or_default().push(code);
+            }
+        }
+        // Forward direction: every live clause of length >= 2 is watched on
+        // exactly its two leading literals.
+        let mut cursor = self.clauses.first();
+        while let Some(cref) = cursor {
+            cursor = self.clauses.next(cref);
+            let len = self.clauses.len(cref);
+            let expected: &[usize] = if len >= 2 && !self.clauses.is_deleted(cref) {
+                &[
+                    self.clauses.lit(cref, 0).code(),
+                    self.clauses.lit(cref, 1).code(),
+                ]
+            } else {
+                &[]
+            };
+            let mut got = seen.remove(&cref.offset()).unwrap_or_default();
+            got.sort_unstable();
+            let mut want = expected.to_vec();
+            want.sort_unstable();
+            if got != want {
+                fail!(
+                    "watches: clause at {} (len {len}) watched under codes {got:?}, want {want:?}",
+                    cref.offset()
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Trail coherence: assignments, levels, reasons, and the trail agree.
+    /// Reasons of variables assigned **above** level 0 must be live clauses
+    /// asserting exactly that variable; level-0 reasons are exempt from the
+    /// liveness check — a learned clause that implied a root fact is itself
+    /// root-satisfied and may legitimately be compacted away, and the search
+    /// never dereferences root-level reasons (conflict analysis cites the
+    /// CDG unit-fact node instead).
+    fn audit_trail(&self, headers: &HashSet<u32>) -> Result<(), String> {
+        let n = self.num_vars();
+        if self.values.len() != n
+            || self.levels.len() != n
+            || self.reasons.len() != n
+            || self.unit_node.len() != n
+        {
+            fail!("trail: per-variable table lengths disagree with num_vars {n}");
+        }
+        if self.qhead > self.trail.len() {
+            fail!(
+                "trail: qhead {} beyond trail {}",
+                self.qhead,
+                self.trail.len()
+            );
+        }
+        let mut prev = 0usize;
+        for (lvl, &lim) in self.trail_lim.iter().enumerate() {
+            if lim < prev || lim > self.trail.len() {
+                fail!("trail: trail_lim[{lvl}] = {lim} is not monotone within the trail");
+            }
+            prev = lim;
+        }
+        let mut pos: Vec<Option<usize>> = vec![None; n];
+        for (i, &lit) in self.trail.iter().enumerate() {
+            let v = lit.var().index();
+            if pos[v].is_some() {
+                fail!("trail: variable {v} assigned twice");
+            }
+            pos[v] = Some(i);
+            if self.lit_value(lit) != LBool::True {
+                fail!("trail: literal {lit:?} on the trail is not true");
+            }
+            let level = self.trail_lim.iter().filter(|&&lim| lim <= i).count() as u32;
+            if self.levels[v] != level {
+                fail!(
+                    "trail: var {v} at trail position {i} has level {}, segments say {level}",
+                    self.levels[v]
+                );
+            }
+        }
+        let assigned = self.values.iter().filter(|v| !v.is_undef()).count();
+        if assigned != self.trail.len() {
+            fail!(
+                "trail: {assigned} assigned variables but {} trail entries",
+                self.trail.len()
+            );
+        }
+        for v in 0..n {
+            if pos[v].is_none() && self.reasons[v].is_some() {
+                fail!("trail: unassigned var {v} keeps a stale reason");
+            }
+            if let Some(node) = self.unit_node[v] {
+                if (node as usize) >= self.cdg.num_total_nodes() {
+                    fail!("trail: unit node {node} of var {v} is out of CDG bounds");
+                }
+                if pos[v].is_none() || self.levels[v] != 0 {
+                    fail!("trail: var {v} has a unit-fact node but is not a root assignment");
+                }
+            }
+        }
+        for (i, &lit) in self.trail.iter().enumerate() {
+            let v = lit.var().index();
+            if self.levels[v] == 0 {
+                continue; // reasons of root facts may be compacted away
+            }
+            let Some(reason) = self.reasons[v] else {
+                continue; // decision or assumption pseudo-decision
+            };
+            if !headers.contains(&reason.offset()) {
+                fail!(
+                    "trail: reason of var {v} points at non-header offset {}",
+                    reason.offset()
+                );
+            }
+            if self.clauses.is_deleted(reason) {
+                fail!("trail: reason of var {v} is a deleted clause");
+            }
+            let len = self.clauses.len(reason);
+            let mut found = false;
+            for j in 0..len {
+                let q = self.clauses.lit(reason, j);
+                if q == lit {
+                    found = true;
+                    continue;
+                }
+                if q.var().index() == v {
+                    fail!("trail: reason of var {v} contains its negation");
+                }
+                if self.lit_value(q) != LBool::False {
+                    fail!("trail: reason of var {v} has non-false side literal {q:?}");
+                }
+                match pos[q.var().index()] {
+                    Some(p) if p < i => {}
+                    _ => fail!("trail: reason of var {v} cites {q:?}, not assigned before it"),
+                }
+            }
+            if !found {
+                fail!("trail: reason of var {v} does not contain its literal");
+            }
+        }
+        if self.seen.iter().any(|&s| s) {
+            fail!("trail: conflict-analysis scratch `seen` is dirty");
+        }
+        Ok(())
+    }
+
+    /// CDG-node reachability: recomputes the root set exactly as
+    /// [`Solver::prune_cdg`] does — the CDG IDs of live arena records plus
+    /// the per-variable unit-fact nodes — and checks every root and every
+    /// antecedent edge reachable from them stays inside the graph. After a
+    /// prune this is precisely the kept node set, so a dangling edge means
+    /// the prune and its external ID rewrites disagreed.
+    fn audit_cdg(&self) -> Result<(), String> {
+        if !self.opts.record_cdg {
+            return Ok(());
+        }
+        let total = self.cdg.num_total_nodes();
+        let mut roots: Vec<ClauseId> = Vec::new();
+        let mut cursor = self.clauses.first();
+        while let Some(cref) = cursor {
+            cursor = self.clauses.next(cref);
+            if !self.clauses.is_deleted(cref) {
+                let id = self.clauses.cdg_id(cref);
+                if (id as usize) >= total {
+                    fail!(
+                        "cdg: live clause at {} carries node id {id}, graph has {total}",
+                        cref.offset()
+                    );
+                }
+                roots.push(id);
+            }
+        }
+        roots.extend(self.unit_node.iter().flatten().copied());
+        let reachable = self.cdg.audit_reachable(&roots)?;
+        debug_assert!(reachable <= total);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rbmc_cnf::{CnfFormula, Lit, Var};
+
+    use super::super::{SolveResult, Solver, SolverOptions};
+
+    fn lit(v: usize, neg: bool) -> Lit {
+        Lit::new(Var::new(v), neg)
+    }
+
+    /// (x ∨ y) ∧ (¬x ∨ y) ∧ (x ∨ ¬y ∨ z): satisfiable, with binary and
+    /// ternary clauses so both watch tiers are populated.
+    fn sat_formula() -> CnfFormula {
+        let mut f = CnfFormula::with_vars(3);
+        f.add_clause([lit(0, false), lit(1, false)]);
+        f.add_clause([lit(0, true), lit(1, false)]);
+        f.add_clause([lit(0, false), lit(1, true), lit(2, false)]);
+        f
+    }
+
+    #[test]
+    fn clean_solver_passes_audit() {
+        let mut s = Solver::from_formula(&sat_formula());
+        s.audit().expect("fresh solver audits clean");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.audit().expect("solved solver audits clean");
+    }
+
+    #[test]
+    fn unsat_solver_passes_audit() {
+        let mut f = CnfFormula::with_vars(2);
+        f.add_clause([lit(0, false), lit(1, false)]);
+        f.add_clause([lit(0, true), lit(1, false)]);
+        f.add_clause([lit(0, false), lit(1, true)]);
+        f.add_clause([lit(0, true), lit(1, true)]);
+        let mut s = Solver::from_formula(&f);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.audit().expect("UNSAT solver audits clean");
+    }
+
+    #[test]
+    fn audit_flags_corrupted_assignment() {
+        let mut s = Solver::from_formula(&sat_formula());
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let v = s.trail[0].var().index();
+        s.values[v] = s.values[v].xor(true);
+        let err = s.audit().expect_err("flipped assignment must fail");
+        assert!(err.contains("trail"), "unexpected report: {err}");
+    }
+
+    #[test]
+    fn audit_flags_missing_watch_entry() {
+        let mut s = Solver::from_formula(&sat_formula());
+        s.audit().expect("clean before tampering");
+        for wl in s.watches.iter_mut() {
+            if wl.bins.pop().is_some() {
+                break;
+            }
+        }
+        let err = s.audit().expect_err("dropped watch must fail");
+        assert!(err.contains("watches"), "unexpected report: {err}");
+    }
+
+    #[test]
+    fn audit_flags_bad_implied_literal() {
+        let mut s = Solver::from_formula(&sat_formula());
+        'outer: for wl in s.watches.iter_mut() {
+            for w in wl.bins.iter_mut() {
+                w.implied = !w.implied;
+                break 'outer;
+            }
+        }
+        let err = s.audit().expect_err("wrong implied literal must fail");
+        assert!(err.contains("implied"), "unexpected report: {err}");
+    }
+
+    #[test]
+    fn audit_survives_heavy_reduction_run() {
+        // The compaction-time hook already audits mid-search; this pins an
+        // end-state audit after a run that actually compacts and prunes.
+        let opts = SolverOptions {
+            reduce_base: 2,
+            reduce_inc: 1,
+            ..SolverOptions::default()
+        };
+        let mut f = CnfFormula::with_vars(8);
+        let lits = |bits: u32, width: usize| -> Vec<Lit> {
+            (0..width)
+                .map(|i| lit((7 * i + 3) % 8, bits & (1 << i) != 0))
+                .collect()
+        };
+        for c in 0..34u32 {
+            f.add_clause(lits(c.wrapping_mul(0x9E37), 3));
+        }
+        let mut s = Solver::from_formula_with(&f, opts);
+        let _ = s.solve();
+        s.prune_cdg();
+        s.audit().expect("post-run audit");
+    }
+}

@@ -54,14 +54,14 @@ pub(crate) struct Cdg {
 
 impl Cdg {
     /// Creates an empty CDG.
-    pub fn new() -> Cdg {
+    pub(crate) fn new() -> Cdg {
         Cdg::default()
     }
 
     /// Records an original clause (a leaf) and returns its pseudo-ID.
     /// `input_pos` is the clause's position in `add_clause` order — what
     /// core extraction reports back.
-    pub fn record_original(&mut self, input_pos: u32) -> ClauseId {
+    pub(crate) fn record_original(&mut self, input_pos: u32) -> ClauseId {
         let id = self.ant_ends.len() as ClauseId;
         self.ant_ends.push(self.ant_data.len() as u32);
         self.leaf.push(input_pos);
@@ -69,7 +69,7 @@ impl Cdg {
     }
 
     /// Records a learned clause and returns its pseudo-ID.
-    pub fn record_learned(&mut self, antecedents: &[ClauseId]) -> ClauseId {
+    pub(crate) fn record_learned(&mut self, antecedents: &[ClauseId]) -> ClauseId {
         let id = self.ant_ends.len() as ClauseId;
         self.ant_data.extend_from_slice(antecedents);
         self.ant_ends.push(self.ant_data.len() as u32);
@@ -89,23 +89,23 @@ impl Cdg {
     }
 
     /// Records the antecedents of the final conflict (the empty-clause node).
-    pub fn record_final(&mut self, antecedents: Vec<ClauseId>) {
+    pub(crate) fn record_final(&mut self, antecedents: Vec<ClauseId>) {
         self.final_antecedents = Some(antecedents);
     }
 
     /// Returns true once the final conflict has been recorded.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn has_final(&self) -> bool {
+    pub(crate) fn has_final(&self) -> bool {
         self.final_antecedents.is_some()
     }
 
     /// Number of learned-clause (inner) nodes.
-    pub fn num_nodes(&self) -> u64 {
+    pub(crate) fn num_nodes(&self) -> u64 {
         self.num_learned
     }
 
     /// Number of antecedent edges.
-    pub fn num_edges(&self) -> u64 {
+    pub(crate) fn num_edges(&self) -> u64 {
         self.ant_data.len() as u64
             + self
                 .final_antecedents
@@ -121,7 +121,7 @@ impl Cdg {
     /// answer under assumptions has no final empty clause, so the engine
     /// extracts the core from the antecedents of the failing-assumption
     /// analysis instead of a recorded final conflict.
-    pub fn core_from(&self, roots: &[ClauseId]) -> Vec<usize> {
+    pub(crate) fn core_from(&self, roots: &[ClauseId]) -> Vec<usize> {
         let mut core = Vec::new();
         let mut seen = vec![false; self.ant_ends.len()];
         let mut stack: Vec<ClauseId> = roots.to_vec();
@@ -145,7 +145,7 @@ impl Cdg {
     /// Extracts the core of the recorded final conflict, or `None` if no
     /// final conflict was recorded (the instance was not proved outright
     /// unsatisfiable, or CDG recording was disabled).
-    pub fn extract_core(&self) -> Option<Vec<usize>> {
+    pub(crate) fn extract_core(&self) -> Option<Vec<usize>> {
         let final_ants = self.final_antecedents.as_ref()?;
         Some(self.core_from(final_ants))
     }
@@ -166,7 +166,7 @@ impl Cdg {
     /// Node order (and hence the relative order of surviving IDs) is
     /// preserved, so interleaved original/learned recording keeps working
     /// after a prune.
-    pub fn prune_reachable(&mut self, roots: &[ClauseId]) -> Vec<ClauseId> {
+    pub(crate) fn prune_reachable(&mut self, roots: &[ClauseId]) -> Vec<ClauseId> {
         let num_nodes = self.ant_ends.len();
         let mut keep = vec![false; num_nodes];
         let mut stack: Vec<ClauseId> = roots.to_vec();
@@ -222,8 +222,70 @@ impl Cdg {
     }
 
     /// Total number of nodes (leaves and inner) currently stored.
-    pub fn num_total_nodes(&self) -> usize {
+    pub(crate) fn num_total_nodes(&self) -> usize {
         self.ant_ends.len()
+    }
+
+    /// Audit helper: traverses backward from `roots` (plus the recorded
+    /// final conflict, if any), checking that every visited ID and every
+    /// antecedent edge stays in bounds and that the flat antecedent storage
+    /// is internally consistent. Returns the number of reachable nodes.
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit_reachable(&self, roots: &[ClauseId]) -> Result<usize, String> {
+        let total = self.ant_ends.len();
+        if self.leaf.len() != total {
+            return Err(format!(
+                "cdg: {} leaf markers for {} nodes",
+                self.leaf.len(),
+                total
+            ));
+        }
+        let mut prev = 0u32;
+        for (id, &end) in self.ant_ends.iter().enumerate() {
+            if end < prev || end as usize > self.ant_data.len() {
+                return Err(format!("cdg: antecedent end of node {id} is not monotone"));
+            }
+            prev = end;
+        }
+        if prev as usize != self.ant_data.len() {
+            return Err(format!(
+                "cdg: {} antecedent words stored, ends account for {prev}",
+                self.ant_data.len()
+            ));
+        }
+        let mut seen = vec![false; total];
+        let mut stack: Vec<ClauseId> = roots.to_vec();
+        if let Some(final_ants) = &self.final_antecedents {
+            stack.extend_from_slice(final_ants);
+        }
+        let mut reachable = 0usize;
+        while let Some(id) = stack.pop() {
+            let idx = id as usize;
+            if idx >= total {
+                return Err(format!("cdg: node id {id} out of bounds ({total} nodes)"));
+            }
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            reachable += 1;
+            if self.leaf[idx] == LEARNED {
+                for &ant in self.antecedents_of(idx) {
+                    if ant as usize >= total {
+                        return Err(format!(
+                            "cdg: node {idx} cites antecedent {ant} out of bounds ({total} nodes)"
+                        ));
+                    }
+                    if ant >= id {
+                        return Err(format!(
+                            "cdg: node {idx} cites antecedent {ant} recorded no earlier than itself"
+                        ));
+                    }
+                    stack.push(ant);
+                }
+            }
+        }
+        Ok(reachable)
     }
 }
 

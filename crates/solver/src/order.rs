@@ -151,7 +151,7 @@ impl std::fmt::Debug for LitOrder {
 
 impl LitOrder {
     /// Creates an ordering over `num_vars` variables with all-zero scores.
-    pub fn new(num_vars: usize) -> LitOrder {
+    pub(crate) fn new(num_vars: usize) -> LitOrder {
         let n = 2 * num_vars;
         LitOrder {
             heap: Vec::with_capacity(n),
@@ -173,7 +173,7 @@ impl LitOrder {
     }
 
     /// Grows the ordering to cover `num_vars` variables.
-    pub fn grow(&mut self, num_vars: usize) {
+    pub(crate) fn grow(&mut self, num_vars: usize) {
         let n = 2 * num_vars;
         if n <= self.pos.len() {
             return;
@@ -195,28 +195,28 @@ impl LitOrder {
 
     /// Number of variables covered.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn num_vars(&self) -> usize {
+    pub(crate) fn num_vars(&self) -> usize {
         self.bmc.len()
     }
 
     /// Marks a variable as occurring in some clause, making it a decision
     /// candidate at the next [`LitOrder::rebuild`] (and at backtracking
     /// reinsertion).
-    pub fn mark_active(&mut self, var: Var) {
+    pub(crate) fn mark_active(&mut self, var: Var) {
         self.active[var.index()] = true;
     }
 
     /// Adds `delta` to the initial `cha_score` of `lit` (used while loading
     /// the original formula: the initial value is the literal count). Also
     /// marks the literal's variable active.
-    pub fn add_initial_count(&mut self, lit: Lit, delta: u64) {
+    pub(crate) fn add_initial_count(&mut self, lit: Lit, delta: u64) {
         self.cha[lit.code()] += delta;
         self.mark_active(lit.var());
     }
 
     /// Records the literals of a newly learned conflict clause
     /// (`new_lit_counts` in the paper).
-    pub fn on_learned_clause(&mut self, lits: &[Lit]) {
+    pub(crate) fn on_learned_clause(&mut self, lits: &[Lit]) {
         for lit in lits {
             self.new_counts[lit.code()] += 1;
         }
@@ -224,7 +224,7 @@ impl LitOrder {
 
     /// Installs the per-variable BMC ranking and enables/disables its use as
     /// the primary key. Callers must [`LitOrder::rebuild`] afterwards.
-    pub fn set_bmc_scores(&mut self, scores: &[u64], use_bmc: bool) {
+    pub(crate) fn set_bmc_scores(&mut self, scores: &[u64], use_bmc: bool) {
         assert!(
             scores.len() <= self.bmc.len(),
             "rank table larger than variable range"
@@ -237,19 +237,19 @@ impl LitOrder {
     }
 
     /// Returns whether `bmc_score` is currently the primary key.
-    pub fn uses_bmc(&self) -> bool {
+    pub(crate) fn uses_bmc(&self) -> bool {
         self.use_bmc
     }
 
     /// Switches to pure VSIDS (the dynamic fallback). Callers must
     /// [`LitOrder::rebuild`] afterwards.
-    pub fn disable_bmc(&mut self) {
+    pub(crate) fn disable_bmc(&mut self) {
         self.use_bmc = false;
     }
 
     /// Applies the periodic update `cha = cha/2 + new_counts` and clears the
     /// per-period counters. Callers must [`LitOrder::rebuild`] afterwards.
-    pub fn halve_scores(&mut self) {
+    pub(crate) fn halve_scores(&mut self) {
         for (score, fresh) in self.cha.iter_mut().zip(self.new_counts.iter_mut()) {
             *score = *score / 2 + *fresh;
             *fresh = 0;
@@ -258,12 +258,12 @@ impl LitOrder {
 
     /// Recomputes every key and rebuilds the heap from the literals of
     /// active variables unassigned in `values` (indexed by variable).
-    pub fn rebuild(&mut self, values: &[LBool]) {
+    pub(crate) fn rebuild(&mut self, values: &[LBool]) {
         for code in 0..self.key.len() {
             self.key[code] = self.make_key(code);
         }
         self.heap.clear();
-        for p in self.pos.iter_mut() {
+        for p in &mut self.pos {
             *p = NOT_IN_HEAP;
         }
         for code in 0..self.key.len() {
@@ -292,7 +292,7 @@ impl LitOrder {
 
     /// Inserts both literals of `var` (if absent and the variable is
     /// active). Called when a variable is unassigned during backtracking.
-    pub fn reinsert_var(&mut self, var: Var) {
+    pub(crate) fn reinsert_var(&mut self, var: Var) {
         if !self.active[var.index()] {
             return;
         }
@@ -311,7 +311,7 @@ impl LitOrder {
     ///
     /// Literals of assigned variables encountered on the way are discarded
     /// (they are reinserted by [`LitOrder::reinsert_var`] when unassigned).
-    pub fn pop_best(&mut self, values: &[LBool]) -> Option<Lit> {
+    pub(crate) fn pop_best(&mut self, values: &[LBool]) -> Option<Lit> {
         while let Some(&top) = self.heap.first() {
             let lit = Lit::from_code(top as usize);
             self.remove_top();
@@ -376,7 +376,7 @@ impl LitOrder {
 
     /// Exposes the current `cha_score` of a literal (tests, diagnostics).
     #[cfg(test)]
-    pub fn cha_score(&self, lit: Lit) -> u64 {
+    pub(crate) fn cha_score(&self, lit: Lit) -> u64 {
         self.cha[lit.code()]
     }
 }

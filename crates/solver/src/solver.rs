@@ -11,6 +11,12 @@ use crate::cdg::{Cdg, ClauseId};
 use crate::order::LitOrder;
 use crate::{LBool, Limits, OrderMode, SolverStats};
 
+// The auditor is a child module so it can read the solver's private fields
+// directly instead of a sanitized accessor view.
+#[cfg(feature = "debug-invariants")]
+#[path = "audit.rs"]
+mod audit;
+
 /// Outcome of a solve call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SolveResult {
@@ -682,6 +688,9 @@ impl Solver {
         self.stats.cdg_pruned_nodes += pruned;
         self.stats.cdg_nodes = self.cdg.num_nodes();
         self.stats.cdg_edges = self.cdg.num_edges();
+        #[cfg(feature = "debug-invariants")]
+        self.audit()
+            .expect("solver invariants violated after CDG prune");
         pruned
     }
 
@@ -1069,7 +1078,7 @@ impl Solver {
             for reason in self.reasons.iter_mut().flatten() {
                 patch(reason);
             }
-            for original in self.original_refs.iter_mut() {
+            for original in &mut self.original_refs {
                 patch(original);
             }
             // Rewrite the two watch entries of each relocated clause.
@@ -1089,6 +1098,9 @@ impl Solver {
         }
         // Halve activities so future reductions favour recent relevance.
         self.clauses.halve_learned_activities(self.first_learned);
+        #[cfg(feature = "debug-invariants")]
+        self.audit()
+            .expect("solver invariants violated after compaction");
     }
 
     /// Removes the two watch entries of `cref` (about to be deleted). Its

@@ -68,6 +68,13 @@ fn check_against_oracle(f: &CnfFormula, opts: SolverOptions) -> Result<(), TestC
         }
         SolveResult::Unknown => prop_assert!(false, "unlimited solve returned Unknown"),
     }
+    // With `debug-invariants` on, every counterexample candidate also gets a
+    // full structural audit on top of the hooks that already ran after each
+    // mid-search compaction and CDG prune.
+    #[cfg(feature = "debug-invariants")]
+    if let Err(e) = solver.audit() {
+        return Err(TestCaseError::fail(format!("post-solve audit: {e}")));
+    }
     Ok(())
 }
 

@@ -1,0 +1,109 @@
+//! AIGER parser robustness fuzzing.
+//!
+//! Valid AIGER files in both encodings are mutilated — truncated at an
+//! arbitrary byte, hit with random byte flips, or both — and fed back to
+//! [`parse_aiger`]. The contract under test: the parser never panics on
+//! corrupted input, and every rejection is a [`ParseAigerError`] whose byte
+//! offset points into (or just past the end of) the input, so a damaged
+//! benchmark file surfaces as a positioned per-file diagnostic in the
+//! corpus runner instead of a crash.
+//!
+//! [`parse_aiger`]: refined_bmc::circuit::aiger::parse_aiger
+//! [`ParseAigerError`]: refined_bmc::circuit::aiger::ParseAigerError
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use refined_bmc::bmc::ProblemBuilder;
+use refined_bmc::circuit::aiger::{parse_aiger, write_aag, write_aig};
+use refined_bmc::gens::corpus::{multi_even_counter, problem_to_aig};
+use refined_bmc::gens::families;
+
+/// Valid seed files in both encodings from a spread of generator families,
+/// including the multi-property instance (extra `B` lines and symbols).
+fn seeds() -> &'static Vec<Vec<u8>> {
+    static SEEDS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    SEEDS.get_or_init(|| {
+        let models = [
+            families::gated_counter(4, 2, 7),
+            families::token_ring(3),
+            families::tmr_voter(2, 1),
+            families::mutex_arbiter(2),
+        ];
+        let mut files = Vec::new();
+        for model in &models {
+            let aig = problem_to_aig(&ProblemBuilder::from_model(model).build());
+            files.push(write_aag(&aig).into_bytes());
+            files.push(write_aig(&aig));
+        }
+        let multi = problem_to_aig(&multi_even_counter());
+        files.push(write_aag(&multi).into_bytes());
+        files.push(write_aig(&multi));
+        files
+    })
+}
+
+/// The robustness contract for one mutated input: parsing must return (a
+/// benign mutation may still parse), and any error must carry a byte offset
+/// inside the input and render it.
+fn parses_or_positions_error(bytes: &[u8]) -> Result<(), TestCaseError> {
+    match parse_aiger(bytes) {
+        Ok(_) => {}
+        Err(e) => {
+            prop_assert!(
+                e.offset() <= bytes.len(),
+                "offset {} outside the {}-byte input: {e}",
+                e.offset(),
+                bytes.len()
+            );
+            prop_assert!(
+                e.to_string().contains("at byte"),
+                "display must carry the position: {e}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn truncations_never_panic(file in 0usize..64, cut in 0usize..1 << 20) {
+        let files = seeds();
+        let bytes = &files[file % files.len()];
+        let cut = cut % (bytes.len() + 1);
+        parses_or_positions_error(&bytes[..cut])?;
+    }
+
+    #[test]
+    fn byte_flips_never_panic(
+        file in 0usize..64,
+        at in 0usize..1 << 20,
+        mask in 1u8..=255,
+    ) {
+        let files = seeds();
+        let mut bytes = files[file % files.len()].clone();
+        let i = at % bytes.len();
+        bytes[i] ^= mask;
+        parses_or_positions_error(&bytes)?;
+    }
+
+    #[test]
+    fn truncated_and_flipped_never_panic(
+        file in 0usize..64,
+        cut in 0usize..1 << 20,
+        at in 0usize..1 << 20,
+        mask in 1u8..=255,
+    ) {
+        let files = seeds();
+        let bytes = &files[file % files.len()];
+        // Keep at least the magic so both parser front ends get exercised.
+        let cut = 4 + cut % (bytes.len() - 3);
+        let mut mutant = bytes[..cut].to_vec();
+        let i = at % mutant.len();
+        mutant[i] ^= mask;
+        parses_or_positions_error(&mutant)?;
+    }
+}

@@ -1,0 +1,104 @@
+//! Structural-audit runs (the `debug-invariants` feature).
+//!
+//! With the feature enabled, the solver audits its watch lists, trail,
+//! arena, and CDG after every learned-database compaction and CDG prune,
+//! and the engine re-audits the session solver plus the rank table at every
+//! depth boundary — any violation panics. These tests drive search-heavy
+//! session sweeps with compaction-aggressive settings so the hooks fire
+//! many times; they pass exactly when every audit along the way does.
+//!
+//! Run with `cargo test --features debug-invariants`.
+
+#![cfg(feature = "debug-invariants")]
+
+use refined_bmc::bmc::Model;
+use refined_bmc::bmc::{BmcEngine, BmcOptions, BmcOutcome, OrderingStrategy, SolverReuse};
+use refined_bmc::gens::families;
+use refined_bmc::solver::SolverOptions;
+
+/// Compaction-heavy engine options: reduction after a handful of learned
+/// clauses, session reuse, depth-boundary CDG pruning — the configuration
+/// that exercises every audited hook.
+fn audited_options(max_depth: usize, strategy: OrderingStrategy) -> BmcOptions {
+    BmcOptions {
+        max_depth,
+        strategy,
+        reuse: SolverReuse::Session,
+        cdg_prune: true,
+        solver: SolverOptions {
+            reduce_base: 4,
+            reduce_inc: 2,
+            ..SolverOptions::default()
+        },
+        ..BmcOptions::default()
+    }
+}
+
+fn run(model: Model, max_depth: usize, strategy: OrderingStrategy) -> BmcOutcome {
+    let mut engine = BmcEngine::new(model, audited_options(max_depth, strategy));
+    let bmc_run = engine.run_collecting();
+    assert!(
+        bmc_run.solver_stats.compactions > 0 || bmc_run.solver_stats.conflicts < 50,
+        "compaction-heavy settings should compact on a search-heavy run"
+    );
+    bmc_run.outcome
+}
+
+#[test]
+fn holding_sweep_passes_every_audit() {
+    // TMR voter: UNSAT at every depth, search-heavy — many compactions and
+    // depth-boundary prunes, each followed by a full structural audit.
+    let outcome = run(
+        families::tmr_voter(3, 1),
+        16,
+        OrderingStrategy::RefinedStatic,
+    );
+    assert!(matches!(
+        outcome,
+        BmcOutcome::BoundReached {
+            depth_completed: 16
+        }
+    ));
+}
+
+#[test]
+fn falsified_sweep_passes_every_audit() {
+    // A counterexample run: UNSAT prefixes (audited) then a SAT instance.
+    let outcome = run(
+        families::token_ring_buggy(3, 6),
+        12,
+        OrderingStrategy::RefinedStatic,
+    );
+    assert!(
+        matches!(outcome, BmcOutcome::Counterexample { .. }),
+        "buggy token ring must fall within the bound, got {outcome:?}"
+    );
+}
+
+#[test]
+fn dynamic_ordering_sweep_passes_every_audit() {
+    let outcome = run(
+        families::mutex_arbiter(3),
+        10,
+        OrderingStrategy::RefinedDynamic { divisor: 64 },
+    );
+    assert!(matches!(outcome, BmcOutcome::BoundReached { .. }));
+}
+
+#[test]
+fn rank_table_audit_holds_across_promotion() {
+    use rbmc_cnf::Var;
+    use refined_bmc::bmc::{VarRank, Weighting};
+
+    for weighting in [Weighting::Linear, Weighting::Uniform, Weighting::LastOnly] {
+        let mut rank = VarRank::new(weighting);
+        rank.audit().expect("empty table");
+        rank.update(&[Var::new(9999)], 0);
+        rank.audit().expect("sparse far-out entry");
+        let block: Vec<Var> = (0..4096).map(Var::new).collect();
+        rank.update(&block, 1);
+        rank.audit().expect("after promotion-sized block");
+        rank.update(&[Var::new(12)], 2);
+        rank.audit().expect("after post-promotion update");
+    }
+}

@@ -202,10 +202,10 @@ proptest! {
                     // single-property problems.
                     match shard {
                         ShardMode::ByDepth => {
-                            prop_assert_eq!(&par_rank, &fresh_rank, "{:?} jobs={}", strategy, jobs)
+                            prop_assert_eq!(&par_rank, &fresh_rank, "{:?} jobs={}", strategy, jobs);
                         }
                         ShardMode::ByProperty if problem.num_properties() == 1 => {
-                            prop_assert_eq!(&par_rank, &session_rank, "{:?} jobs={}", strategy, jobs)
+                            prop_assert_eq!(&par_rank, &session_rank, "{:?} jobs={}", strategy, jobs);
                         }
                         ShardMode::ByProperty => {}
                         // Relaxed grains are covered by

@@ -23,7 +23,7 @@ fn all_strategies_match_the_oracle_on_the_small_suite() {
         let oracle = check_reachable(&instance.model, instance.max_depth);
         match (instance.expectation, oracle) {
             (Expectation::FailsAt(d), OracleVerdict::FailsAt(o)) => {
-                assert_eq!(d, o, "{}: suite ground truth is wrong", instance.name)
+                assert_eq!(d, o, "{}: suite ground truth is wrong", instance.name);
             }
             (Expectation::Holds, OracleVerdict::HoldsUpTo(_)) => {}
             (e, o) => panic!("{}: expectation {e:?} vs oracle {o:?}", instance.name),
@@ -74,7 +74,7 @@ fn per_depth_verdicts_are_identical_across_strategies() {
             match &reference {
                 None => reference = Some(verdicts),
                 Some(expected) => {
-                    assert_eq!(expected, &verdicts, "{} [{strategy:?}]", instance.name)
+                    assert_eq!(expected, &verdicts, "{} [{strategy:?}]", instance.name);
                 }
             }
         }
