@@ -19,7 +19,8 @@
 //!      [--strategy bmc|sta|dyn|sht] [--divisor N] [--jobs N]
 //!      [--shard by-property|by-depth|striped|work-stealing]
 //!      [--relaxed] [--deterministic] [--no-preprocess]
-//!      [--lint off|warn|deny]
+//!      [--lint off|warn|deny] [--lint-json PATH]
+//!      [--proof off|log|check]
 //!      [--portfolio] [--portfolio-mode strategies|reuse|full]
 //!      [--selfcheck] [--smoke]
 //!      [--witness-dir DIR] [--json-out PATH | --no-json]
@@ -90,6 +91,21 @@
 //!   sections, no properties, duplicate property names — is recorded as a
 //!   *skipped* entry (strategy `skipped` in `BENCH_corpus.json`, with its
 //!   diagnostic) and the sweep continues with a clean exit code.
+//! - `--lint-json PATH` additionally writes the full lint findings of every
+//!   swept file as a machine-readable artifact (`rbmc-lint/v1`: per-file
+//!   diagnostics with code, severity, location, message, hint, plus
+//!   warning/error totals) — the shape CI annotators and dashboards consume
+//!   instead of scraping stdout. Independent of `--lint` mode.
+//! - `--proof {off,log,check}` (default `off`) turns on clause-level
+//!   DRAT/LRAT proof logging in the solver. `log` records every axiom,
+//!   derivation (with CDG-sourced antecedent hints), and deletion, and
+//!   reports certificate sizes in the `BENCH_corpus.json` extras
+//!   (`proof_steps`); `check` additionally re-derives **every UNSAT
+//!   episode** through the independent checker of `rbmc-proof` — a
+//!   rejected certificate fails the file and the sweep exits non-zero (the
+//!   fail-closed CI shape, symmetric to the witness and invariant gates).
+//!   Under `--selfcheck`, the differential cross-runs inherit the proof
+//!   mode, so the relaxed/parallel grains are certified too.
 //! - `--smoke` shrinks the export to the small suite and the default depth
 //!   bound to 10 (CI mode).
 //!
@@ -112,7 +128,7 @@ use rbmc_core::induction::InductionEngine;
 use rbmc_core::{
     check_invariant, preprocess_problem, BmcEngine, BmcOptions, BmcRun, EngineKind, Ic3Engine,
     Model, OrderingStrategy, ParallelConfig, PortfolioMode, PreprocessedProblem, ProblemBuilder,
-    PropertyVerdict, ShardMode, SolveResult, SolverReuse, Trace, VerificationProblem,
+    ProofMode, PropertyVerdict, ShardMode, SolveResult, SolverReuse, Trace, VerificationProblem,
 };
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -143,6 +159,18 @@ fn parse_lint_mode(args: &[String]) -> LintMode {
         Some("deny") => LintMode::Deny,
         Some(other) => {
             eprintln!("error: --lint requires off|warn|deny, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_proof_mode(args: &[String]) -> ProofMode {
+    match flag_value(args, "--proof") {
+        None | Some("off") => ProofMode::Off,
+        Some("log") => ProofMode::Log,
+        Some("check") => ProofMode::Check,
+        Some(other) => {
+            eprintln!("error: --proof requires off|log|check, got `{other}`");
             std::process::exit(2);
         }
     }
@@ -406,7 +434,25 @@ fn prover_cross_check(
             _ => {}
         }
     }
+    mismatches.extend(proof_mismatch(stem, &oracle, "bmc oracle"));
     mismatches
+}
+
+/// One diagnostic when a differential cross-run's own proof check rejected
+/// a certificate (the cross-runs inherit the main run's `--proof` mode, so
+/// the relaxed and parallel grains are certified too, not just the
+/// configuration the sweep reports).
+fn proof_mismatch(stem: &str, run: &BmcRun, mode_label: &str) -> Option<String> {
+    let proof = run.proof.as_ref().filter(|p| p.rejected())?;
+    Some(format!(
+        "{stem}: {mode_label} proof check rejected {} certificate{}: {}",
+        proof.rejections,
+        if proof.rejections == 1 { "" } else { "s" },
+        proof
+            .first_rejection
+            .as_deref()
+            .unwrap_or("(no description)"),
+    ))
 }
 
 /// Re-runs the whole problem under an alternative configuration and returns
@@ -424,13 +470,15 @@ fn cross_check(
     let names: Vec<&str> = (0..problem.num_properties())
         .map(|idx| problem.property(idx).name())
         .collect();
-    verdict_mismatches(
+    let mut mismatches = verdict_mismatches(
         stem,
         &names,
         &verdict_sequences(run),
         &verdict_sequences(&other),
         mode_label,
-    )
+    );
+    mismatches.extend(proof_mismatch(stem, &other, mode_label));
+    mismatches
 }
 
 /// A checked file's buffered stdout block, its report cases, and whether
@@ -609,6 +657,40 @@ fn check_file(
             problem.netlist().num_latches(),
         );
     }
+    // The UNSAT certification gate, symmetric to the witness and invariant
+    // gates below: under `--proof check` every UNSAT episode of the run was
+    // re-derived by the independent checker as it closed; any rejection
+    // fails the file (and with it the sweep).
+    if let Some(proof) = &run.proof {
+        if options.proof.checks() {
+            let _ = writeln!(
+                out,
+                "  proof: {} UNSAT episode{} certified, {} steps logged ({:.1} ms check)",
+                proof.episodes_certified,
+                if proof.episodes_certified == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                proof.steps_logged,
+                proof.check_time.as_secs_f64() * 1e3,
+            );
+        } else {
+            let _ = writeln!(out, "  proof: {} steps logged", proof.steps_logged);
+        }
+        if proof.rejected() {
+            return Err(format!(
+                "{}: proof check rejected {} certificate{}: {}",
+                path.display(),
+                proof.rejections,
+                if proof.rejections == 1 { "" } else { "s" },
+                proof
+                    .first_rejection
+                    .as_deref()
+                    .unwrap_or("(no description)"),
+            ));
+        }
+    }
     for (idx, prop_report) in run.properties.iter().enumerate() {
         let (status, detail) = match &prop_report.verdict {
             PropertyVerdict::Falsified { depth, .. } => {
@@ -763,6 +845,17 @@ fn check_file(
             extra.push(("gates_encoded".into(), pp.report.after.gates as f64));
             extra.push(("swept_latches".into(), pp.report.swept_latches as f64));
             extra.push(("dropped_latches".into(), pp.report.dropped_latches as f64));
+        }
+        if let Some(proof) = &run.proof {
+            // Certificate sizes and check cost (shared by the file's
+            // properties, like the lint counts above).
+            extra.push(("proof_steps".into(), proof.steps_logged as f64));
+            extra.push(("proof_certified".into(), proof.episodes_certified as f64));
+            extra.push(("proof_rejections".into(), proof.rejections as f64));
+            extra.push((
+                "proof_check_ms".into(),
+                proof.check_time.as_secs_f64() * 1e3,
+            ));
         }
         if !run.workers.is_empty() {
             // Per-worker dispatch stats of the engine-level parallel run.
@@ -923,6 +1016,11 @@ fn check_file(
                     prop_report.name, prop_report.depth_results, fresh_verdicts
                 ));
             }
+            mismatches.extend(proof_mismatch(
+                &stem,
+                &fresh_run,
+                &format!("fresh single-property ({})", prop_report.name),
+            ));
         }
         if !mismatches.is_empty() {
             return Err(format!(
@@ -962,6 +1060,8 @@ fn main() -> ExitCode {
     let deterministic = args.iter().any(|a| a == "--deterministic");
     let no_preprocess = args.iter().any(|a| a == "--no-preprocess");
     let lint_mode = parse_lint_mode(&args);
+    let lint_json = flag_value(&args, "--lint-json").map(PathBuf::from);
+    let proof_mode = parse_proof_mode(&args);
     // `--engine portfolio` is sugar for `--portfolio` with the full-mode
     // roster (BMC grid + IC3 + induction racing for the first conclusive
     // verdict); the other labels pick a single engine for every file.
@@ -1085,6 +1185,8 @@ fn main() -> ExitCode {
         "--json-out",
         "--export-corpus",
         "--lint",
+        "--lint-json",
+        "--proof",
     ];
     let mut positional: Option<PathBuf> = None;
     let mut skip = false;
@@ -1110,6 +1212,7 @@ fn main() -> ExitCode {
              [--reuse fresh|session] [--strategy bmc|sta|dyn|sht] [--divisor N] \
              [--jobs N] [--shard by-property|by-depth|striped|work-stealing] \
              [--relaxed] [--deterministic] [--no-preprocess] [--lint off|warn|deny] \
+             [--lint-json PATH] [--proof off|log|check] \
              [--portfolio] [--portfolio-mode strategies|reuse|full] \
              [--selfcheck] [--smoke] [--witness-dir DIR] [--json-out PATH | --no-json]"
         );
@@ -1138,6 +1241,32 @@ fn main() -> ExitCode {
             corpus_dir.display()
         );
         return ExitCode::from(1);
+    }
+
+    // `--lint-json`: the machine-readable lint artifact, written before the
+    // sweep (the lint pass is a cheap static analysis over raw bytes, and
+    // the artifact should exist even when the sweep itself fails).
+    if let Some(path) = &lint_json {
+        let entries: Vec<(String, LintReport)> = files
+            .iter()
+            .map(|p| {
+                let name = p
+                    .file_name()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("benchmark")
+                    .to_string();
+                let report = match std::fs::read(p) {
+                    Ok(bytes) => lint_aiger(&bytes),
+                    Err(_) => LintReport::default(),
+                };
+                (name, report)
+            })
+            .collect();
+        if let Err(e) = std::fs::write(path, rbmc_bench::report::lint_json(&entries)) {
+            eprintln!("error: cannot write lint artifact {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
     }
 
     // Split the worker budget between the two grains instead of multiplying
@@ -1169,6 +1298,7 @@ fn main() -> ExitCode {
         strategy,
         reuse,
         preprocess: !no_preprocess,
+        proof: proof_mode,
         // A portfolio race runs each member sequentially — the race is the
         // parallelism.
         parallel: (!portfolio_flag && (engine_jobs > 1 || engine_forced)).then_some(

@@ -157,6 +157,61 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Renders per-file lint findings as the machine-readable `rbmc-lint/v1`
+/// artifact (`rbmc --lint-json PATH`): one entry per swept file with its
+/// full diagnostic list (code, severity, location, message, hint) and
+/// warning/error counts, plus corpus-wide totals. The shape CI annotators
+/// and dashboards consume instead of scraping the sweep's stdout.
+pub fn lint_json(entries: &[(String, rbmc_circuit::lint::LintReport)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"rbmc-lint/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"total_warnings\": {},",
+        entries.iter().map(|(_, r)| r.num_warnings()).sum::<usize>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"total_errors\": {},",
+        entries.iter().map(|(_, r)| r.num_errors()).sum::<usize>()
+    );
+    out.push_str("  \"files\": [\n");
+    for (i, (file, report)) in entries.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"file\": {},", json_string(file));
+        let _ = writeln!(out, "      \"warnings\": {},", report.num_warnings());
+        let _ = writeln!(out, "      \"errors\": {},", report.num_errors());
+        out.push_str("      \"diagnostics\": [");
+        for (j, d) in report.diagnostics().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n        {{\"code\": {}, \"severity\": {}, \"location\": {}, \
+                 \"message\": {}, \"hint\": {}}}",
+                json_string(d.code.code()),
+                json_string(&d.severity.to_string()),
+                json_string(&d.location),
+                json_string(&d.message),
+                json_string(&d.hint),
+            );
+        }
+        if !report.diagnostics().is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n");
+        out.push_str(if i + 1 < entries.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Writes the report to `path`, creating parent directories as needed.
 pub fn write_json(path: &Path, report: &BenchReport) -> io::Result<()> {
     if let Some(parent) = path.parent() {
@@ -228,6 +283,32 @@ mod tests {
         assert!(json.contains("\"wall_s\": 0.250000"));
         assert!(json.contains("\"cdg_nodes\": 42.000000"));
         assert!(json.contains("\"verdict_ok\": true"));
+    }
+
+    #[test]
+    fn lint_json_schema() {
+        // One file with a constant-property error (doc example of the
+        // linter), one clean file: the artifact must carry the schema tag,
+        // corpus totals, per-file counts, and fully structured diagnostics.
+        let dirty = rbmc_circuit::lint::lint_aiger(b"aag 0 0 0 0 0 1\n1\n");
+        assert_eq!(dirty.num_errors(), 1);
+        let clean = rbmc_circuit::lint::LintReport::default();
+        let json = lint_json(&[("dirty.aag".into(), dirty), ("clean.aag".into(), clean)]);
+        assert!(json.contains("\"schema\": \"rbmc-lint/v1\""));
+        assert!(json.contains("\"total_warnings\": 0"));
+        assert!(json.contains("\"total_errors\": 1"));
+        assert!(json.contains("\"file\": \"dirty.aag\""));
+        assert!(json.contains("\"code\": \"L001\""));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.contains("\"location\":"));
+        assert!(json.contains("\"hint\":"));
+        // The clean file's diagnostics array is present and empty.
+        assert!(json.contains("\"diagnostics\": []"));
+        // The artifact is one self-contained JSON object (balanced braces as
+        // a cheap structural check, since the workspace has no JSON parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use rbmc_circuit::Signal;
 use rbmc_cnf::Lit;
 use rbmc_solver::{CancelFlag, Limits, OrderMode, SolveResult, Solver, SolverOptions, SolverStats};
 
+use crate::certify::{self, EpisodeCertifier};
 use crate::parallel::{self, ParallelConfig, WorkerReport};
 use crate::preprocess::preprocess_problem;
 use crate::{
@@ -163,6 +164,12 @@ pub struct BmcOptions {
     /// fresh solver per instance), so [`BmcOptions::reuse`] is not consulted
     /// by parallel runs.
     pub parallel: Option<ParallelConfig>,
+    /// Clause-level proof logging of every provisioned solver, and — under
+    /// [`ProofMode::Check`](crate::ProofMode) — independent re-derivation of
+    /// every UNSAT episode's certificate. Forces `record_cdg` (the proof
+    /// hints come from the conflict dependency graph). Results land in
+    /// [`BmcRun::proof`].
+    pub proof: crate::ProofMode,
 }
 
 impl Default for BmcOptions {
@@ -179,6 +186,7 @@ impl Default for BmcOptions {
             preprocess: true,
             cdg_prune: true,
             parallel: None,
+            proof: crate::ProofMode::Off,
         }
     }
 }
@@ -384,6 +392,10 @@ pub struct BmcRun {
     pub workers: Vec<WorkerReport>,
     /// Total wall-clock time.
     pub total_time: Duration,
+    /// Proof-logging summary, aggregated over every solver the run
+    /// provisioned. `None` when [`BmcOptions::proof`] is
+    /// [`ProofMode::Off`](crate::ProofMode).
+    pub proof: Option<crate::ProofSummary>,
 }
 
 impl BmcRun {
@@ -663,6 +675,12 @@ impl BmcEngine {
             SolverReuse::Session => Some(Solver::with_options(self.solver_options())),
             SolverReuse::Fresh => None,
         };
+        // Proof sink of the session solver (attached before any clause), and
+        // the running aggregate over every solver the run provisions.
+        let mut session_certifier = session
+            .as_mut()
+            .and_then(|s| EpisodeCertifier::attach(self.options.proof, s));
+        let mut proof_acc: Option<crate::ProofSummary> = None;
         let mut aggregate = SolverStats::new();
         let mut first_falsified: Option<usize> = None;
         let mut resource_out: Option<usize> = None;
@@ -716,6 +734,7 @@ impl BmcEngine {
                 }
                 let bad = props[p_idx].bad;
                 let mut fresh: Option<Solver> = None;
+                let mut fresh_certifier: Option<EpisodeCertifier> = None;
                 let (solver, result, base) = match session.as_mut() {
                     Some(solver) => {
                         let base = solver.stats().clone();
@@ -732,7 +751,9 @@ impl BmcEngine {
                         (&mut *solver, result, base)
                     }
                     None => {
-                        let solver = fresh.insert(self.fresh_solver(&unroller, k, bad));
+                        let (provisioned, certifier) = self.fresh_solver(&unroller, k, bad);
+                        fresh_certifier = certifier;
+                        let solver = fresh.insert(provisioned);
                         let result = solver.solve_limited(&limits);
                         (&mut *solver, result, SolverStats::new())
                     }
@@ -789,6 +810,12 @@ impl BmcEngine {
                             solver.add_clause(&[!act]);
                             props[p_idx].assumption_conflicts += 1;
                         }
+                        // Certify the episode's UNSAT verdict against its
+                        // just-recorded final clause.
+                        if let Some(cert) = session_certifier.as_mut().or(fresh_certifier.as_mut())
+                        {
+                            cert.observe_unsat();
+                        }
                     }
                     SolveResult::Unknown => {
                         depth.result = SolveResult::Unknown;
@@ -798,6 +825,10 @@ impl BmcEngine {
                 if let Some(f) = fresh.as_ref() {
                     aggregate.accumulate(f.stats());
                 }
+                certify::merge_opt(
+                    &mut proof_acc,
+                    fresh_certifier.map(EpisodeCertifier::into_summary),
+                );
                 if resource_out.is_some() {
                     break;
                 }
@@ -829,6 +860,8 @@ impl BmcEngine {
             {
                 if let Some(solver) = session.as_ref() {
                     solver.audit().expect("solver invariants at depth boundary");
+                    certify::audit_proof_coherence(solver)
+                        .expect("proof-log coherence at depth boundary");
                 }
                 self.rank
                     .audit()
@@ -845,6 +878,10 @@ impl BmcEngine {
         if let Some(solver) = session.as_ref() {
             aggregate = solver.stats().clone();
         }
+        certify::merge_opt(
+            &mut proof_acc,
+            session_certifier.map(EpisodeCertifier::into_summary),
+        );
         aggregate.prefix_peak_clauses = unroller.peak_cached_clauses() as u64;
         let outcome = match (resource_out, first_falsified) {
             // A definite counterexample outranks a later budget exhaustion:
@@ -864,6 +901,7 @@ impl BmcEngine {
             solver_stats: aggregate,
             workers: Vec::new(),
             total_time: run_start.elapsed(),
+            proof: proof_acc,
         }
     }
 
@@ -917,9 +955,16 @@ impl BmcEngine {
     /// differential path): loads `F_k` from the unroller's cached clause
     /// prefix plus the depth-`k` bad-state unit of one property — no
     /// activation literals, no assumptions — then installs the strategy's
-    /// ranking.
-    fn fresh_solver(&self, unroller: &Unroller<'_>, k: usize, bad: Signal) -> Solver {
+    /// ranking. The proof certifier (attached before any clause) rides
+    /// along when [`BmcOptions::proof`] is on.
+    fn fresh_solver(
+        &self,
+        unroller: &Unroller<'_>,
+        k: usize,
+        bad: Signal,
+    ) -> (Solver, Option<EpisodeCertifier>) {
         let mut solver = Solver::with_options(self.solver_options());
+        let certifier = EpisodeCertifier::attach(self.options.proof, &mut solver);
         solver.reserve_vars(unroller.num_vars_at(k));
         unroller.with_prefix(k, |clauses| {
             for clause in clauses {
@@ -928,7 +973,7 @@ impl BmcEngine {
         });
         solver.add_clause(&[unroller.lit_of(bad, k)]);
         self.install_ranking(&mut solver, unroller, k);
-        solver
+        (solver, certifier)
     }
 
     /// The model variables (frame-stable, `< num_vars_at(k)`) of the last
@@ -960,7 +1005,8 @@ pub(crate) fn strategy_solver_options(options: &BmcOptions) -> SolverOptions {
         OrderingStrategy::RefinedStatic | OrderingStrategy::Shtrichman => OrderMode::Static,
         OrderingStrategy::RefinedDynamic { divisor } => OrderMode::Dynamic { divisor },
     };
-    opts.record_cdg = options.strategy.needs_cores() || options.force_record_cdg;
+    opts.record_cdg =
+        options.strategy.needs_cores() || options.force_record_cdg || options.proof.is_on();
     opts
 }
 

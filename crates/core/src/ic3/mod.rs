@@ -68,6 +68,7 @@ use rbmc_circuit::{LatchInit, Node, NodeId, Signal};
 use rbmc_cnf::{CnfFormula, Lit, Var};
 use rbmc_solver::{CancelFlag, Limits, SolveResult, Solver, SolverOptions, SolverStats};
 
+use crate::certify::EpisodeCertifier;
 use crate::engine::{
     depth_limits, strategy_solver_options, BmcOptions, BmcOutcome, BmcRun, DepthStats,
     PropertyReport, PropertyVerdict,
@@ -220,10 +221,15 @@ impl Ic3Engine {
         let mut aggregate = SolverStats::new();
         let mut reports: Vec<PropertyReport> = Vec::new();
         let mut per_depth: Vec<DepthStats> = Vec::new();
+        let mut proof_acc: Option<crate::ProofSummary> = None;
         for (name, bad) in props {
             let mut runner = PropRunner::new(&self.model, bad, &self.options, self.cancel.as_ref());
             let (report, frontier_stats) = runner.run(name);
             aggregate.accumulate(runner.solver.stats());
+            crate::certify::merge_opt(
+                &mut proof_acc,
+                runner.certifier.take().map(EpisodeCertifier::into_summary),
+            );
             merge_depth_stats(&mut per_depth, frontier_stats);
             reports.push(report);
         }
@@ -236,6 +242,7 @@ impl Ic3Engine {
             solver_stats: aggregate,
             workers: Vec::new(),
             total_time: run_start.elapsed(),
+            proof: proof_acc,
         };
         // Lift traces out of the working model's coordinates, as BMC does.
         if let Some(lift) = self.lift.as_ref().filter(|l| !l.is_identity()) {
@@ -405,6 +412,9 @@ struct PropRunner<'a> {
     assumption_conflicts: u64,
     /// Distinct latch positions cited by cores, per frontier (DepthStats).
     frontier_core_positions: Vec<usize>,
+    /// Proof sink and per-episode checker of the session solver (attached
+    /// when [`BmcOptions::proof`] is on).
+    certifier: Option<EpisodeCertifier>,
 }
 
 impl<'a> PropRunner<'a> {
@@ -426,15 +436,13 @@ impl<'a> PropRunner<'a> {
             }
         }
         // Same solver configuration as BMC's strategy mapping, except the
-        // CDG is never recorded: IC3's cores come from failed assumptions,
-        // which the session machinery tracks for free.
-        let mut solver_opts: SolverOptions = {
-            let mut o = strategy_solver_options(options);
-            o.record_cdg = false;
-            o
-        };
-        solver_opts.record_cdg = false;
+        // CDG is normally not recorded: IC3's cores come from failed
+        // assumptions, which the session machinery tracks for free. Proof
+        // logging re-enables it — the LRAT hints are CDG antecedents.
+        let mut solver_opts: SolverOptions = strategy_solver_options(options);
+        solver_opts.record_cdg = options.proof.is_on();
         let mut solver = Solver::with_options(solver_opts);
+        let certifier = EpisodeCertifier::attach(options.proof, &mut solver);
         solver.reserve_vars(2 * num_nodes);
 
         // Load the 1-step transition relation once: frame 0 is the
@@ -485,6 +493,7 @@ impl<'a> PropRunner<'a> {
             episodes: 0,
             assumption_conflicts: 0,
             frontier_core_positions: Vec::new(),
+            certifier,
         };
         runner.act_init = runner.alloc_lit();
         // I(V⁰), gated: ¬act_init ∨ (latch at its initial value).
@@ -583,7 +592,15 @@ impl<'a> PropRunner<'a> {
 
     fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.episodes += 1;
-        self.solver.solve_under_limited(assumptions, &self.limits)
+        let result = self.solver.solve_under_limited(assumptions, &self.limits);
+        // Every IC3 query funnels through here, so every UNSAT verdict the
+        // algorithm acts on (blocked cube, converged frontier) is certified.
+        if result == SolveResult::Unsat {
+            if let Some(cert) = self.certifier.as_mut() {
+                cert.observe_unsat();
+            }
+        }
+        result
     }
 
     /// The full register cube of the solver's satisfying assignment.

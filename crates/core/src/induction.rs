@@ -308,6 +308,9 @@ impl InductionEngine {
             solver_stats: aggregate,
             workers: Vec::new(),
             total_time: start.elapsed(),
+            // Induction's strengthening queries are not proof-logged (only
+            // the BMC and IC3 engines certify).
+            proof: None,
         }
     }
 }

@@ -97,6 +97,7 @@ pub mod induction;
 pub mod oracle;
 pub mod vcd;
 
+mod certify;
 mod engine;
 mod engine_trait;
 mod model;
@@ -110,6 +111,7 @@ mod shtrichman;
 mod trace;
 mod unroll;
 
+pub use certify::{ProofAuditError, ProofMode, ProofSummary, SharedRecorder};
 pub use engine::{
     BmcEngine, BmcOptions, BmcOutcome, BmcRun, DepthStats, OrderingStrategy, PropertyReport,
     PropertyVerdict, SolverReuse,

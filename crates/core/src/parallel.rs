@@ -69,6 +69,7 @@ use std::time::{Duration, Instant};
 use rbmc_cnf::Var;
 use rbmc_solver::{CancelFlag, SolveResult, Solver, SolverStats};
 
+use crate::certify::EpisodeCertifier;
 use crate::engine::{
     core_model_vars, depth_limits, install_strategy_ranking, strategy_solver_options, BmcEngine,
     BmcOptions, BmcOutcome, BmcRun, DepthStats, PropState,
@@ -237,6 +238,9 @@ pub(crate) struct Episode {
     /// Full stats of the fresh solver that ran this episode (ByDepth only;
     /// what the sequential fresh engine accumulates per episode).
     pub(crate) solver_stats: Option<SolverStats>,
+    /// Proof-logging summary of a fresh episode's solver (`None` for
+    /// session episodes, whose summary lives on the group).
+    pub(crate) proof: Option<crate::ProofSummary>,
     pub(crate) time: Duration,
 }
 
@@ -258,6 +262,7 @@ impl Episode {
             core: Vec::new(),
             trace: None,
             solver_stats: None,
+            proof: None,
             time: Duration::ZERO,
         }
     }
@@ -270,6 +275,8 @@ pub(crate) struct GroupOutcome {
     pub(crate) episodes: Vec<Episode>,
     /// The session solver's final counters.
     pub(crate) stats: SolverStats,
+    /// The session solver's proof-logging summary (`None` with proof off).
+    pub(crate) proof: Option<crate::ProofSummary>,
 }
 
 impl GroupOutcome {
@@ -280,6 +287,7 @@ impl GroupOutcome {
             prop: PropState::fresh(property.name().to_string(), property.bad()),
             episodes: Vec::new(),
             stats: SolverStats::new(),
+            proof: None,
         }
     }
 }
@@ -509,6 +517,7 @@ fn run_property_session(
     let mut prop = PropState::fresh(property.name().to_string(), property.bad());
     let mut rank = VarRank::new(options.weighting);
     let mut solver = Solver::with_options(strategy_solver_options(options));
+    let mut certifier = EpisodeCertifier::attach(options.proof, &mut solver);
     let limits = depth_limits(options, cancel);
     let mut episodes = Vec::new();
 
@@ -547,6 +556,7 @@ fn run_property_session(
             core: Vec::new(),
             trace: None,
             solver_stats: None,
+            proof: None,
             time: Duration::ZERO,
         };
         match result {
@@ -570,6 +580,9 @@ fn run_property_session(
                 if options.strategy.needs_cores() && !episode.core.is_empty() {
                     rank.update(&episode.core, k);
                 }
+                if let Some(cert) = certifier.as_mut() {
+                    cert.observe_unsat();
+                }
             }
             SolveResult::Unknown => {}
         }
@@ -586,6 +599,7 @@ fn run_property_session(
         prop,
         episodes,
         stats: solver.stats().clone(),
+        proof: certifier.map(EpisodeCertifier::into_summary),
     }
 }
 
@@ -661,6 +675,7 @@ fn run_fresh_episode(
     let start = Instant::now();
     let unroller = Unroller::new(model);
     let mut solver = Solver::with_options(strategy_solver_options(options));
+    let mut certifier = EpisodeCertifier::attach(options.proof, &mut solver);
     solver.reserve_vars(unroller.num_vars_at(k));
     for clause in prefix.prefix(k) {
         solver.add_clause(clause.lits());
@@ -681,6 +696,7 @@ fn run_fresh_episode(
         core: Vec::new(),
         trace: None,
         solver_stats: Some(stats),
+        proof: None,
         time: Duration::ZERO,
     };
     match result {
@@ -690,9 +706,13 @@ fn run_fresh_episode(
         }
         SolveResult::Unsat => {
             episode.core = core_model_vars(&solver, unroller.num_vars_at(k));
+            if let Some(cert) = certifier.as_mut() {
+                cert.observe_unsat();
+            }
         }
         SolveResult::Unknown => {}
     }
+    episode.proof = certifier.map(EpisodeCertifier::into_summary);
     episode.time = start.elapsed();
     episode
 }
@@ -717,6 +737,7 @@ fn run_depth_wavefront(
             prop: PropState::fresh(model.problem().property(p).name().to_string(), bads[p]),
             episodes: Vec::new(),
             stats: SolverStats::new(),
+            proof: None,
         })
         .collect();
 
@@ -802,6 +823,7 @@ fn run_depth_lattice(
             prop: PropState::fresh(model.problem().property(p).name().to_string(), bads[p]),
             episodes: Vec::new(),
             stats: SolverStats::new(),
+            proof: None,
         })
         .collect();
     'depths: for k in 0..num_depths {
@@ -860,6 +882,7 @@ pub(crate) fn commit_episode(group: &mut GroupOutcome, mut episode: Episode, k: 
     if let Some(stats) = &episode.solver_stats {
         group.stats.accumulate(stats);
     }
+    crate::certify::merge_opt(&mut group.proof, episode.proof.take());
     group.episodes.push(episode);
 }
 
@@ -961,8 +984,10 @@ pub(crate) fn merge_committed(
         .filter_map(|(p, g)| g.prop.falsified.as_ref().map(|(d, _)| (*d, p)))
         .min();
     let mut aggregate = SolverStats::new();
+    let mut proof_acc: Option<crate::ProofSummary> = None;
     for group in &groups {
         aggregate.accumulate(&group.stats);
+        crate::certify::merge_opt(&mut proof_acc, group.proof.clone());
     }
     // Parallel runs eagerly encode the whole shared prefix, so the cache
     // peak is its full size (bounded prefix mode is sequential-session-only).
@@ -988,6 +1013,7 @@ pub(crate) fn merge_committed(
         solver_stats: aggregate,
         workers,
         total_time: run_start.elapsed(),
+        proof: proof_acc,
     }
 }
 

@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 
 use rbmc_solver::{CancelFlag, Limits, SolveResult, Solver, SolverStats};
 
+use crate::certify::EpisodeCertifier;
 use crate::engine::{
     core_model_vars, depth_limits, install_strategy_ranking, strategy_solver_options, BmcEngine,
     BmcOptions, BmcRun,
@@ -90,6 +91,8 @@ struct StripedOut {
     rows: Vec<(usize, Vec<Option<Episode>>)>,
     report: WorkerReport,
     stats: SolverStats,
+    /// The worker's session-solver proof summary (`None` with proof off).
+    proof: Option<crate::ProofSummary>,
 }
 
 pub(crate) fn run_striped(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
@@ -130,12 +133,14 @@ pub(crate) fn run_striped(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         .collect();
     let mut reports = Vec::with_capacity(outputs.len());
     let mut session_stats = SolverStats::new();
+    let mut proof_acc: Option<crate::ProofSummary> = None;
     for out in outputs {
         for (k, row) in out.rows {
             table[k] = row;
         }
         reports.push(out.report);
         session_stats.accumulate(&out.stats);
+        crate::certify::merge_opt(&mut proof_acc, out.proof);
     }
     let cancelled = cancel
         .as_ref()
@@ -175,8 +180,10 @@ pub(crate) fn run_striped(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
 
     let mut run = cut_and_merge(engine, &options, &unroller, groups, reports, run_start);
     // Each worker's warm session solver carries the aggregate counters (the
-    // per-episode deltas are already in the per-depth stats).
+    // per-episode deltas are already in the per-depth stats). The proof
+    // summaries likewise live with the workers' solvers, not the groups.
     run.solver_stats = session_stats;
+    run.proof = proof_acc;
     *engine.rank_mut() = shared_rank.into_inner().expect("rank lock");
     run
 }
@@ -189,6 +196,7 @@ fn run_striped_worker(ctx: &StripedCtx<'_, '_>, w: usize) -> StripedOut {
     let num_props = ctx.model.problem().num_properties();
     let unroller = Unroller::new(ctx.model);
     let mut solver = Solver::with_options(strategy_solver_options(options));
+    let mut certifier = EpisodeCertifier::attach(options.proof, &mut solver);
     let limits = depth_limits(options, ctx.cancel);
     let mut loaded = 0usize;
     let mut rows = Vec::new();
@@ -228,6 +236,11 @@ fn run_striped_worker(ctx: &StripedCtx<'_, '_>, w: usize) -> StripedOut {
                 continue;
             }
             let episode = run_striped_episode(ctx, &unroller, &mut solver, &limits, k, p_idx);
+            if episode.result == SolveResult::Unsat {
+                if let Some(cert) = certifier.as_mut() {
+                    cert.observe_unsat();
+                }
+            }
             report.episodes += 1;
             report.decisions += episode.decisions;
             report.conflicts += episode.conflicts;
@@ -266,6 +279,7 @@ fn run_striped_worker(ctx: &StripedCtx<'_, '_>, w: usize) -> StripedOut {
         rows,
         report,
         stats: solver.stats().clone(),
+        proof: certifier.map(EpisodeCertifier::into_summary),
     }
 }
 
@@ -300,6 +314,7 @@ fn run_striped_episode(
         core: Vec::new(),
         trace: None,
         solver_stats: None,
+        proof: None,
         time: Duration::ZERO,
     };
     match result {
@@ -332,6 +347,8 @@ fn run_striped_episode(
 struct Task {
     p_idx: usize,
     solver: Solver,
+    /// The session's proof certifier — it migrates with the solver.
+    certifier: Option<EpisodeCertifier>,
     /// Frames loaded into `solver` so far (exclusive bound).
     loaded: usize,
     next_depth: usize,
@@ -367,12 +384,15 @@ pub(crate) fn run_work_stealing(engine: &mut BmcEngine, jobs: usize) -> BmcRun {
         .map(|_| Mutex::new(VecDeque::new()))
         .collect();
     for p in 0..num_props {
+        let mut solver = Solver::with_options(strategy_solver_options(&options));
+        let certifier = EpisodeCertifier::attach(options.proof, &mut solver);
         deques[p % num_workers]
             .lock()
             .expect("deque lock")
             .push_back(Task {
                 p_idx: p,
-                solver: Solver::with_options(strategy_solver_options(&options)),
+                solver,
+                certifier,
                 loaded: 0,
                 next_depth: 0,
                 group: GroupOutcome::fresh(&model, p),
@@ -461,6 +481,7 @@ fn run_steal_worker(ctx: &StealCtx<'_, '_>, w: usize) -> WorkerReport {
             || task.next_depth > ctx.options.max_depth;
         if done {
             task.group.stats = task.solver.stats().clone();
+            task.group.proof = task.certifier.take().map(EpisodeCertifier::into_summary);
             ctx.finished.lock().expect("finished lock").push(task);
             // Release ordering publishes the finished task before other
             // workers observe the counter reaching zero.
@@ -523,6 +544,7 @@ fn advance_task(
         core: Vec::new(),
         trace: None,
         solver_stats: None,
+        proof: None,
         time: Duration::ZERO,
     };
     match result {
@@ -543,6 +565,9 @@ fn advance_task(
             episode.core = core_model_vars(&task.solver, unroller.num_vars_at(k));
             task.solver.add_clause(&[!act]);
             task.group.prop.assumption_conflicts += 1;
+            if let Some(cert) = task.certifier.as_mut() {
+                cert.observe_unsat();
+            }
             // Per-episode commit: this property's core lands in the shared
             // table as soon as it exists — relaxed both in depth order and
             // in the per-depth union (a variable cited by several

@@ -1,0 +1,376 @@
+//! Independent checker for the session solver's clausal UNSAT certificates.
+//!
+//! The solver (`rbmc-solver`) can log every original clause, every derived
+//! clause with LRAT-style antecedent hints, every deletion, and a final
+//! clause per UNSAT episode. This crate replays such a log **without any
+//! dependency on the solver** — it consumes only [`rbmc_cnf`] literals — and
+//! accepts a certificate only if every step it depends on is a genuine
+//! reverse-unit-propagation (RUP) consequence of the clauses before it:
+//!
+//! - A [`ProofRecorder`] accumulates the step log (one per solver) and can
+//!   check the current episode in place, or snapshot it into an owned
+//!   [`CertificateBundle`].
+//! - A [`CertificateBundle`] is the self-contained, file-backable form: the
+//!   axiom/derived/delete step list, the episode's final clause, and a
+//!   formula hash binding the certificate to the exact input clause sequence
+//!   — a certificate replayed against a different formula fails the hash
+//!   check before any propagation runs.
+//! - Checking is **backward**: only the steps reachable from the final
+//!   clause's hints are propagation-verified (the rest get structural checks
+//!   only), which keeps repeated per-episode checks cheap in an incremental
+//!   session.
+//! - Hint verification is **strict LRAT**: hints are processed in order and
+//!   each cited clause must be unit (propagating one literal) until a
+//!   conflict closes the step. A satisfied or non-unit hint rejects the
+//!   certificate — the checker is deliberately intolerant, so corrupted or
+//!   reordered hint lists cannot slip through. Steps with no hints fall
+//!   back to full-database RUP.
+//!
+//! # Examples
+//!
+//! A two-step refutation of `x ∧ ¬x`, checked end to end:
+//!
+//! ```
+//! use rbmc_cnf::Lit;
+//! use rbmc_proof::ProofRecorder;
+//!
+//! let x = Lit::from_dimacs(1);
+//! let mut rec = ProofRecorder::new();
+//! rec.axiom(1, &[x]);
+//! rec.axiom(2, &[!x]);
+//! // The solver derives the empty clause from both units.
+//! rec.finalize(&[], &[1, 2]);
+//! let stats = rec.check_current().expect("valid certificate");
+//! assert_eq!(stats.steps_verified, 1); // just the final clause
+//! let bundle = rec.bundle();
+//! assert!(bundle.check().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod check;
+mod text;
+
+use rbmc_cnf::Lit;
+
+pub use check::{CheckStats, ProofError};
+pub use text::ParseLratError;
+
+/// One line of a clausal proof log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// An original clause of the input formula, in `add_clause` order.
+    Axiom {
+        /// Proof line id (shared, strictly increasing sequence).
+        id: u64,
+        /// The clause as given.
+        lits: Vec<Lit>,
+    },
+    /// A derived clause: RUP under the hints (processed in order, each hint
+    /// must be unit until one conflicts).
+    Derived {
+        /// Proof line id.
+        id: u64,
+        /// The derived clause.
+        lits: Vec<Lit>,
+        /// Earlier proof lines justifying the derivation.
+        hints: Vec<u64>,
+    },
+    /// The derived clause with the given id left the database.
+    Delete {
+        /// Proof line id of the deleted derived clause.
+        id: u64,
+    },
+}
+
+impl ProofStep {
+    /// The proof line id this step declares or retracts.
+    pub fn id(&self) -> u64 {
+        match self {
+            ProofStep::Axiom { id, .. }
+            | ProofStep::Derived { id, .. }
+            | ProofStep::Delete { id } => *id,
+        }
+    }
+}
+
+/// The final clause of one UNSAT episode: the negation of the episode's
+/// failed assumptions, or empty when the clause database is unsatisfiable
+/// outright. Not part of the database; justified like a derived step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FinalClause {
+    /// The episode's final clause.
+    pub lits: Vec<Lit>,
+    /// Hints justifying it (same semantics as [`ProofStep::Derived`]).
+    pub hints: Vec<u64>,
+}
+
+/// A self-contained, owned UNSAT certificate: the step log up to one
+/// episode's final clause, bound to the input formula by a hash over the
+/// axiom sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertificateBundle {
+    /// FNV-1a hash over the axiom lines in order (see
+    /// [`ProofRecorder::formula_hash`]). [`CertificateBundle::check`]
+    /// recomputes it from [`CertificateBundle::steps`] and rejects on
+    /// mismatch, so a certificate cannot be replayed against a formula it
+    /// was not produced from.
+    pub formula_hash: u64,
+    /// The proof lines, in emission order.
+    pub steps: Vec<ProofStep>,
+    /// The episode's final clause.
+    pub final_clause: FinalClause,
+}
+
+impl CertificateBundle {
+    /// Verifies the certificate: hash binding, structural coherence of ids
+    /// and hints, and backward RUP/LRAT checking of every step the final
+    /// clause depends on.
+    pub fn check(&self) -> Result<CheckStats, ProofError> {
+        check::check_certificate(Some(self.formula_hash), &self.steps, &self.final_clause)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds one `u32` word into a running FNV-1a hash, byte by byte.
+fn fnv_word(mut hash: u64, word: u32) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Clause separator fed to the hash between axiom lines (no literal code
+/// collides with it: codes come from `var << 1 | sign` over in-use vars).
+const HASH_SEP: u32 = u32::MAX;
+
+/// Accumulates a solver's proof log and checks episodes in place.
+///
+/// One recorder serves one solver for its whole incremental session; each
+/// UNSAT episode overwrites the final clause, and checking or bundling
+/// always refers to the most recent one. See the crate docs for an example.
+#[derive(Clone, Debug)]
+pub struct ProofRecorder {
+    steps: Vec<ProofStep>,
+    final_clause: Option<FinalClause>,
+    /// Running FNV-1a over the axiom lines.
+    hash: u64,
+    num_axioms: u64,
+    /// Derived line ids without a deletion record, in emission order (the
+    /// audit snapshot sorts; deletions are rare enough for a linear sweep).
+    live_derived: Vec<u64>,
+}
+
+// Not derived: the derived impl would zero-initialise `hash`, silently
+// diverging from the FNV offset basis `new()` seeds — every certificate
+// bundled from a defaulted recorder would then fail its own hash binding.
+impl Default for ProofRecorder {
+    fn default() -> ProofRecorder {
+        ProofRecorder::new()
+    }
+}
+
+impl ProofRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> ProofRecorder {
+        ProofRecorder {
+            steps: Vec::new(),
+            final_clause: None,
+            hash: FNV_OFFSET,
+            num_axioms: 0,
+            live_derived: Vec::new(),
+        }
+    }
+
+    /// Records an axiom line (original clause).
+    pub fn axiom(&mut self, id: u64, lits: &[Lit]) {
+        for &lit in lits {
+            self.hash = fnv_word(self.hash, lit.code() as u32);
+        }
+        self.hash = fnv_word(self.hash, HASH_SEP);
+        self.num_axioms += 1;
+        self.steps.push(ProofStep::Axiom {
+            id,
+            lits: lits.to_vec(),
+        });
+    }
+
+    /// Records a derived line (learned clause or root-level unit fact).
+    pub fn derived(&mut self, id: u64, lits: &[Lit], hints: &[u64]) {
+        self.live_derived.push(id);
+        self.steps.push(ProofStep::Derived {
+            id,
+            lits: lits.to_vec(),
+            hints: hints.to_vec(),
+        });
+    }
+
+    /// Records the deletion of a derived line.
+    pub fn delete(&mut self, id: u64) {
+        if let Some(pos) = self.live_derived.iter().position(|&l| l == id) {
+            self.live_derived.swap_remove(pos);
+        }
+        self.steps.push(ProofStep::Delete { id });
+    }
+
+    /// Records (or replaces) the current episode's final clause.
+    pub fn finalize(&mut self, lits: &[Lit], hints: &[u64]) {
+        self.final_clause = Some(FinalClause {
+            lits: lits.to_vec(),
+            hints: hints.to_vec(),
+        });
+    }
+
+    /// The FNV-1a hash over the axiom lines recorded so far — the identity
+    /// of the formula the log is about.
+    pub fn formula_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of proof lines recorded so far (excluding the final clause).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of axiom lines recorded so far.
+    pub fn num_axioms(&self) -> u64 {
+        self.num_axioms
+    }
+
+    /// The most recent episode's final clause, if any episode ended UNSAT.
+    pub fn final_clause(&self) -> Option<&FinalClause> {
+        self.final_clause.as_ref()
+    }
+
+    /// Derived line ids without a deletion record, sorted ascending — the
+    /// recorder's half of the `debug-invariants` coherence audit.
+    pub fn live_derived_sorted(&self) -> Vec<u64> {
+        let mut live = self.live_derived.clone();
+        live.sort_unstable();
+        live
+    }
+
+    /// Checks the current episode in place (no copy of the log): the most
+    /// recent final clause against the steps recorded so far. The hash is
+    /// the recorder's own, so only structure and propagation are verified.
+    ///
+    /// Returns [`ProofError::NoFinal`] if no episode has ended UNSAT yet.
+    pub fn check_current(&self) -> Result<CheckStats, ProofError> {
+        let final_clause = self.final_clause.as_ref().ok_or(ProofError::NoFinal)?;
+        check::check_certificate(None, &self.steps, final_clause)
+    }
+
+    /// Snapshots the log into an owned [`CertificateBundle`] for the most
+    /// recent episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no episode has ended UNSAT (there is nothing to certify).
+    pub fn bundle(&self) -> CertificateBundle {
+        CertificateBundle {
+            formula_hash: self.hash,
+            steps: self.steps.clone(),
+            final_clause: self
+                .final_clause
+                .clone()
+                .expect("bundle requires an UNSAT episode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    /// x ∧ (¬x ∨ y) ∧ ¬y: unit propagation refutes; the recorder logs the
+    /// two root facts as derived lines and the empty final.
+    fn chain_recorder() -> ProofRecorder {
+        let mut rec = ProofRecorder::new();
+        rec.axiom(1, &[lit(1)]);
+        rec.axiom(2, &[lit(-1), lit(2)]);
+        rec.axiom(3, &[lit(-2)]);
+        // Root facts, hints in propagation order.
+        rec.derived(4, &[lit(1)], &[1]);
+        rec.derived(5, &[lit(2)], &[4, 2]);
+        rec.finalize(&[], &[5, 3]);
+        rec
+    }
+
+    #[test]
+    fn valid_chain_checks() {
+        let rec = chain_recorder();
+        let stats = rec.check_current().unwrap();
+        assert_eq!(stats.steps_total, 5);
+        assert!(stats.steps_verified >= 3);
+        assert!(rec.bundle().check().is_ok());
+    }
+
+    #[test]
+    fn assumption_episode_final() {
+        // (¬a ∨ x) ∧ (¬a ∨ ¬x) refutes the assumption a: final = [¬a].
+        let mut rec = ProofRecorder::new();
+        rec.axiom(1, &[lit(-3), lit(1)]);
+        rec.axiom(2, &[lit(-3), lit(-1)]);
+        rec.finalize(&[lit(-3)], &[1, 2]);
+        assert!(rec.check_current().is_ok());
+    }
+
+    #[test]
+    fn tautological_final_is_trivially_valid() {
+        // Self-contradictory assumptions: final [¬a, a], no hints.
+        let mut rec = ProofRecorder::new();
+        rec.axiom(1, &[lit(1), lit(2)]);
+        rec.finalize(&[lit(-3), lit(3)], &[]);
+        assert!(rec.check_current().is_ok());
+    }
+
+    #[test]
+    fn no_final_is_an_error() {
+        let mut rec = ProofRecorder::new();
+        rec.axiom(1, &[lit(1)]);
+        assert!(matches!(rec.check_current(), Err(ProofError::NoFinal)));
+    }
+
+    #[test]
+    fn hash_binds_the_formula() {
+        let rec = chain_recorder();
+        let mut bundle = rec.bundle();
+        bundle.formula_hash ^= 0xdead_beef;
+        assert!(matches!(
+            bundle.check(),
+            Err(ProofError::FormulaHashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn deleted_lines_leave_the_live_set() {
+        let mut rec = ProofRecorder::new();
+        rec.axiom(1, &[lit(1), lit(2)]);
+        rec.derived(2, &[lit(1)], &[]);
+        rec.derived(3, &[lit(2)], &[]);
+        rec.delete(2);
+        assert_eq!(rec.live_derived_sorted(), vec![3]);
+        assert_eq!(rec.num_axioms(), 1);
+    }
+
+    #[test]
+    fn citing_a_deleted_line_is_rejected() {
+        let mut rec = ProofRecorder::new();
+        rec.axiom(1, &[lit(1)]);
+        rec.derived(2, &[lit(1)], &[1]);
+        rec.delete(2);
+        rec.finalize(&[lit(1)], &[2]);
+        assert!(matches!(
+            rec.check_current(),
+            Err(ProofError::UnknownHint { .. })
+        ));
+    }
+}

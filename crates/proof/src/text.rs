@@ -1,0 +1,333 @@
+//! Text serialisation of certificates: a self-contained LRAT-style format
+//! that round-trips through [`CertificateBundle`], and a one-way export to
+//! standard DRAT for third-party checkers.
+//!
+//! The LRAT-style format is line-oriented:
+//!
+//! ```text
+//! c rbmc-lrat 1 <formula-hash-hex>
+//! a <id> <lits…> 0              axiom (original clause, in input order)
+//! <id> <lits…> 0 <hints…> 0     derived clause with antecedent hints
+//! <id> d <ids…> 0               deletion of derived clauses
+//! f <lits…> 0 <hints…> 0        the episode's final clause
+//! ```
+//!
+//! Literals use DIMACS signs. Unlike stock LRAT, axioms are spelled out
+//! (`a` lines) so the file carries the whole obligation — the checker never
+//! has to trust a side channel for the input formula; the header hash binds
+//! the file to the encoder run that produced it.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use rbmc_cnf::Lit;
+
+use crate::{CertificateBundle, FinalClause, ProofStep};
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLratError {
+    /// 1-based line number of the offending line (0 for whole-file
+    /// problems, e.g. a missing header or final clause).
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "lrat parse error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "lrat parse error at line {}: {}",
+                self.line, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for ParseLratError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseLratError {
+    ParseLratError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn push_lits(out: &mut String, lits: &[Lit]) {
+    for &lit in lits {
+        let _ = write!(out, "{} ", lit.to_dimacs());
+    }
+    out.push('0');
+}
+
+fn push_hints(out: &mut String, hints: &[u64]) {
+    for &hint in hints {
+        let _ = write!(out, "{hint} ");
+    }
+    out.push('0');
+}
+
+impl CertificateBundle {
+    /// Serialises the bundle to the self-contained LRAT-style text format
+    /// (round-trips through [`CertificateBundle::from_lrat_text`]).
+    pub fn to_lrat_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "c rbmc-lrat 1 {:016x}", self.formula_hash);
+        for step in &self.steps {
+            match step {
+                ProofStep::Axiom { id, lits } => {
+                    let _ = write!(out, "a {id} ");
+                    push_lits(&mut out, lits);
+                    out.push('\n');
+                }
+                ProofStep::Derived { id, lits, hints } => {
+                    let _ = write!(out, "{id} ");
+                    push_lits(&mut out, lits);
+                    out.push(' ');
+                    push_hints(&mut out, hints);
+                    out.push('\n');
+                }
+                ProofStep::Delete { id } => {
+                    let _ = writeln!(out, "{id} d {id} 0");
+                }
+            }
+        }
+        out.push_str("f ");
+        push_lits(&mut out, &self.final_clause.lits);
+        out.push(' ');
+        push_hints(&mut out, &self.final_clause.hints);
+        out.push('\n');
+        out
+    }
+
+    /// Parses the self-contained LRAT-style text format produced by
+    /// [`CertificateBundle::to_lrat_text`]. Only syntax is validated here;
+    /// call [`CertificateBundle::check`] on the result to verify the proof.
+    pub fn from_lrat_text(text: &str) -> Result<CertificateBundle, ParseLratError> {
+        let mut formula_hash: Option<u64> = None;
+        let mut steps: Vec<ProofStep> = Vec::new();
+        let mut final_clause: Option<FinalClause> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split_ascii_whitespace();
+            let first = tokens.next().expect("non-empty line has a token");
+            match first {
+                "c" => {
+                    let rest: Vec<&str> = tokens.collect();
+                    if formula_hash.is_none()
+                        && rest.len() == 3
+                        && rest[0] == "rbmc-lrat"
+                        && rest[1] == "1"
+                    {
+                        let hash = u64::from_str_radix(rest[2], 16)
+                            .map_err(|_| err(lineno, "bad formula hash in header"))?;
+                        formula_hash = Some(hash);
+                    }
+                    // Other comments are ignored.
+                }
+                "a" => {
+                    let id = parse_id(tokens.next(), lineno)?;
+                    let lits = parse_lits(&mut tokens, lineno)?;
+                    expect_end(&mut tokens, lineno)?;
+                    steps.push(ProofStep::Axiom { id, lits });
+                }
+                "f" => {
+                    let lits = parse_lits(&mut tokens, lineno)?;
+                    let hints = parse_hints(&mut tokens, lineno)?;
+                    expect_end(&mut tokens, lineno)?;
+                    if final_clause.is_some() {
+                        return Err(err(lineno, "duplicate final clause"));
+                    }
+                    final_clause = Some(FinalClause { lits, hints });
+                }
+                _ => {
+                    let id = parse_id(Some(first), lineno)?;
+                    let mut rest = tokens.peekable();
+                    if rest.peek() == Some(&"d") {
+                        rest.next();
+                        for step_id in parse_hints(&mut rest, lineno)? {
+                            steps.push(ProofStep::Delete { id: step_id });
+                        }
+                        expect_end(&mut rest, lineno)?;
+                    } else {
+                        let lits = parse_lits(&mut rest, lineno)?;
+                        let hints = parse_hints(&mut rest, lineno)?;
+                        expect_end(&mut rest, lineno)?;
+                        steps.push(ProofStep::Derived { id, lits, hints });
+                    }
+                }
+            }
+        }
+        let formula_hash = formula_hash.ok_or_else(|| err(0, "missing `c rbmc-lrat 1` header"))?;
+        let final_clause = final_clause.ok_or_else(|| err(0, "missing final (`f`) line"))?;
+        Ok(CertificateBundle {
+            formula_hash,
+            steps,
+            final_clause,
+        })
+    }
+
+    /// Exports the derivation as standard DRAT (one-way: DRAT has no ids,
+    /// hints, axioms, or hash, so this loses the self-containment of the
+    /// LRAT-style format). Deletion lines spell out the deleted clause body,
+    /// as DRAT requires.
+    pub fn to_drat_text(&self) -> String {
+        let mut out = String::new();
+        let mut bodies: Vec<(u64, &[Lit])> = Vec::new();
+        for step in &self.steps {
+            match step {
+                ProofStep::Axiom { .. } => {}
+                ProofStep::Derived { id, lits, .. } => {
+                    bodies.push((*id, lits));
+                    push_lits(&mut out, lits);
+                    out.push('\n');
+                }
+                ProofStep::Delete { id } => {
+                    if let Some(pos) = bodies.iter().position(|&(bid, _)| bid == *id) {
+                        let (_, lits) = bodies.swap_remove(pos);
+                        out.push_str("d ");
+                        push_lits(&mut out, lits);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        push_lits(&mut out, &self.final_clause.lits);
+        out.push('\n');
+        out
+    }
+}
+
+fn parse_id(token: Option<&str>, lineno: usize) -> Result<u64, ParseLratError> {
+    let token = token.ok_or_else(|| err(lineno, "missing proof line id"))?;
+    let id: u64 = token
+        .parse()
+        .map_err(|_| err(lineno, format!("bad proof line id `{token}`")))?;
+    if id == 0 {
+        return Err(err(lineno, "proof line id 0 is reserved"));
+    }
+    Ok(id)
+}
+
+/// Consumes DIMACS literals up to and including the `0` terminator.
+fn parse_lits<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<Vec<Lit>, ParseLratError> {
+    let mut lits = Vec::new();
+    for token in tokens {
+        let n: i64 = token
+            .parse()
+            .map_err(|_| err(lineno, format!("bad literal `{token}`")))?;
+        if n == 0 {
+            return Ok(lits);
+        }
+        lits.push(Lit::from_dimacs(n));
+    }
+    Err(err(lineno, "literal list not terminated by 0"))
+}
+
+/// Consumes hint ids up to and including the `0` terminator.
+fn parse_hints<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<Vec<u64>, ParseLratError> {
+    let mut hints = Vec::new();
+    for token in tokens {
+        let id: u64 = token
+            .parse()
+            .map_err(|_| err(lineno, format!("bad hint id `{token}`")))?;
+        if id == 0 {
+            return Ok(hints);
+        }
+        hints.push(id);
+    }
+    Err(err(lineno, "hint list not terminated by 0"))
+}
+
+fn expect_end<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<(), ParseLratError> {
+    match tokens.next() {
+        None => Ok(()),
+        Some(extra) => Err(err(lineno, format!("trailing token `{extra}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn sample_bundle() -> CertificateBundle {
+        CertificateBundle {
+            formula_hash: 0x1234_5678_9abc_def0,
+            steps: vec![
+                ProofStep::Axiom {
+                    id: 1,
+                    lits: vec![lit(1)],
+                },
+                ProofStep::Axiom {
+                    id: 2,
+                    lits: vec![lit(-1), lit(2)],
+                },
+                ProofStep::Derived {
+                    id: 3,
+                    lits: vec![lit(2)],
+                    hints: vec![1, 2],
+                },
+                ProofStep::Delete { id: 3 },
+            ],
+            final_clause: FinalClause {
+                lits: vec![lit(-2)],
+                hints: vec![1, 2],
+            },
+        }
+    }
+
+    #[test]
+    fn lrat_text_round_trips() {
+        let bundle = sample_bundle();
+        let text = bundle.to_lrat_text();
+        let parsed = CertificateBundle::from_lrat_text(&text).unwrap();
+        assert_eq!(parsed, bundle);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let e = CertificateBundle::from_lrat_text("f 0 0\n").unwrap_err();
+        assert!(e.message.contains("header"));
+    }
+
+    #[test]
+    fn missing_final_is_rejected() {
+        let text = "c rbmc-lrat 1 00000000000000aa\na 1 1 0\n";
+        let e = CertificateBundle::from_lrat_text(text).unwrap_err();
+        assert!(e.message.contains("final"));
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let text = "c rbmc-lrat 1 00000000000000aa\na one 1 0\nf 0 0\n";
+        let e = CertificateBundle::from_lrat_text(text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn drat_export_spells_out_deletions() {
+        let drat = sample_bundle().to_drat_text();
+        assert_eq!(drat, "2 0\nd 2 0\n-2 0\n");
+    }
+}

@@ -289,15 +289,15 @@ impl Solver {
                 self.trail.len()
             );
         }
-        for v in 0..n {
-            if pos[v].is_none() && self.reasons[v].is_some() {
+        for (v, p) in pos.iter().enumerate() {
+            if p.is_none() && self.reasons[v].is_some() {
                 fail!("trail: unassigned var {v} keeps a stale reason");
             }
             if let Some(node) = self.unit_node[v] {
                 if (node as usize) >= self.cdg.num_total_nodes() {
                     fail!("trail: unit node {node} of var {v} is out of CDG bounds");
                 }
-                if pos[v].is_none() || self.levels[v] != 0 {
+                if p.is_none() || self.levels[v] != 0 {
                     fail!("trail: var {v} has a unit-fact node but is not a root assignment");
                 }
             }
@@ -379,11 +379,81 @@ impl Solver {
         debug_assert!(reachable <= total);
         Ok(())
     }
+
+    /// Cross-checks an attached proof log against the clause database: the
+    /// log's unretracted derived lines must be exactly the proof ids of the
+    /// live learned clauses plus the root-level unit facts (nothing missing,
+    /// nothing extra), and the axiom count must match the originals added.
+    ///
+    /// The snapshot comes from [`crate::ProofLog::audit_snapshot`]; logs
+    /// that do not track one simply opt out of this audit. The engines call
+    /// this at depth boundaries under `debug-invariants`, turning every
+    /// differential run into a log/database coherence check.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence between the log and
+    /// the database.
+    pub fn audit_proof(&self, snapshot: &crate::ProofAuditSnapshot) -> Result<(), String> {
+        if self.proof.is_none() {
+            fail!("proof: audit_proof called with no log attached");
+        }
+        if snapshot.num_axioms != self.original_refs.len() as u64 {
+            fail!(
+                "proof: log holds {} axiom lines, database {} original clauses",
+                snapshot.num_axioms,
+                self.original_refs.len()
+            );
+        }
+        let pid_of =
+            |id: ClauseId| -> u64 { self.proof_of_cdg.get(id as usize).copied().unwrap_or(0) };
+        let mut expected: Vec<u64> = Vec::new();
+        let mut cursor = self.clauses.first();
+        while let Some(cref) = cursor {
+            if self.clauses.is_learned(cref) && !self.clauses.is_deleted(cref) {
+                let pid = pid_of(self.clauses.cdg_id(cref));
+                if pid == 0 {
+                    fail!(
+                        "proof: live learned clause at {} has no proof line",
+                        cref.offset()
+                    );
+                }
+                expected.push(pid);
+            }
+            cursor = self.clauses.next(cref);
+        }
+        for &node in self.unit_node.iter().flatten() {
+            let pid = pid_of(node);
+            if pid == 0 {
+                fail!("proof: root-level unit fact (CDG node {node}) has no proof line");
+            }
+            expected.push(pid);
+        }
+        expected.sort_unstable();
+        if expected != snapshot.live_derived {
+            let rank = expected
+                .iter()
+                .zip(&snapshot.live_derived)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| expected.len().min(snapshot.live_derived.len()));
+            let in_log = snapshot.live_derived.get(rank);
+            let in_db = expected.get(rank);
+            fail!(
+                "proof: live lines diverge at rank {rank}: log has {in_log:?}, database \
+                 {in_db:?} ({} log lines vs {} database clauses)",
+                snapshot.live_derived.len(),
+                expected.len()
+            );
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use rbmc_cnf::{CnfFormula, Lit, Var};
+
+    use crate::{ProofAuditSnapshot, ProofLog};
 
     use super::super::{SolveResult, Solver, SolverOptions};
 
@@ -435,7 +505,7 @@ mod tests {
     fn audit_flags_missing_watch_entry() {
         let mut s = Solver::from_formula(&sat_formula());
         s.audit().expect("clean before tampering");
-        for wl in s.watches.iter_mut() {
+        for wl in &mut s.watches {
             if wl.bins.pop().is_some() {
                 break;
             }
@@ -447,14 +517,96 @@ mod tests {
     #[test]
     fn audit_flags_bad_implied_literal() {
         let mut s = Solver::from_formula(&sat_formula());
-        'outer: for wl in s.watches.iter_mut() {
-            for w in wl.bins.iter_mut() {
+        for wl in &mut s.watches {
+            if let Some(w) = wl.bins.first_mut() {
                 w.implied = !w.implied;
-                break 'outer;
+                break;
             }
         }
         let err = s.audit().expect_err("wrong implied literal must fail");
         assert!(err.contains("implied"), "unexpected report: {err}");
+    }
+
+    /// Minimal [`ProofLog`] that tracks exactly the bookkeeping
+    /// [`ProofAuditSnapshot`] wants, so the coherence audit can be pinned
+    /// without depending on the real recorder crate.
+    #[derive(Debug, Default)]
+    struct TestLog {
+        axioms: u64,
+        live: Vec<u64>,
+    }
+
+    impl ProofLog for TestLog {
+        fn axiom(&mut self, _id: u64, _lits: &[Lit]) {
+            self.axioms += 1;
+        }
+
+        fn derived(&mut self, id: u64, _lits: &[Lit], _hints: &[u64]) {
+            self.live.push(id);
+        }
+
+        fn delete(&mut self, id: u64) {
+            self.live.retain(|&x| x != id);
+        }
+
+        fn finalize(&mut self, _lits: &[Lit], _hints: &[u64]) {}
+
+        fn audit_snapshot(&self) -> Option<ProofAuditSnapshot> {
+            let mut live_derived = self.live.clone();
+            live_derived.sort_unstable();
+            Some(ProofAuditSnapshot {
+                live_derived,
+                num_axioms: self.axioms,
+            })
+        }
+    }
+
+    /// Solves an UNSAT formula with a [`TestLog`] attached and returns the
+    /// solver together with its end-state snapshot.
+    fn logged_unsat_solver() -> (Solver, ProofAuditSnapshot) {
+        let mut s = Solver::with_options(SolverOptions::default());
+        s.set_proof_log(Box::new(TestLog::default()));
+        s.reserve_vars(2);
+        s.add_clause(&[lit(0, false), lit(1, false)]);
+        s.add_clause(&[lit(0, true), lit(1, false)]);
+        s.add_clause(&[lit(0, false), lit(1, true)]);
+        s.add_clause(&[lit(0, true), lit(1, true)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let snapshot = s
+            .proof_log()
+            .expect("log attached")
+            .audit_snapshot()
+            .expect("TestLog tracks a snapshot");
+        (s, snapshot)
+    }
+
+    #[test]
+    fn proof_audit_accepts_coherent_log() {
+        let (s, snapshot) = logged_unsat_solver();
+        s.audit_proof(&snapshot).expect("coherent log audits clean");
+        assert!(snapshot.num_axioms == 4 && !snapshot.live_derived.is_empty());
+    }
+
+    #[test]
+    fn proof_audit_flags_missing_and_extra_lines() {
+        let (s, snapshot) = logged_unsat_solver();
+        let mut dropped = snapshot.clone();
+        dropped.live_derived.pop();
+        let err = s.audit_proof(&dropped).expect_err("retracted live line");
+        assert!(err.contains("diverge"), "unexpected report: {err}");
+        let mut extra = snapshot;
+        extra.live_derived.push(u64::MAX);
+        let err = s.audit_proof(&extra).expect_err("phantom live line");
+        assert!(err.contains("diverge"), "unexpected report: {err}");
+    }
+
+    #[test]
+    fn proof_audit_flags_axiom_count_mismatch() {
+        let (s, snapshot) = logged_unsat_solver();
+        let mut tampered = snapshot;
+        tampered.num_axioms += 1;
+        let err = s.audit_proof(&tampered).expect_err("axiom count drift");
+        assert!(err.contains("axiom"), "unexpected report: {err}");
     }
 
     #[test]

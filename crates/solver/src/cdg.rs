@@ -231,7 +231,7 @@ impl Cdg {
     /// antecedent edge stays in bounds and that the flat antecedent storage
     /// is internally consistent. Returns the number of reachable nodes.
     #[cfg(feature = "debug-invariants")]
-    pub fn audit_reachable(&self, roots: &[ClauseId]) -> Result<usize, String> {
+    pub(crate) fn audit_reachable(&self, roots: &[ClauseId]) -> Result<usize, String> {
         let total = self.ant_ends.len();
         if self.leaf.len() != total {
             return Err(format!(

@@ -46,6 +46,7 @@ mod cdg;
 mod lbool;
 mod limits;
 mod order;
+mod proof;
 mod reference;
 mod solver;
 mod stats;
@@ -53,6 +54,7 @@ mod stats;
 pub use lbool::LBool;
 pub use limits::{CancelFlag, Limits};
 pub use order::{ranking_decision_order, OrderMode};
+pub use proof::{ProofAuditSnapshot, ProofLog};
 pub use reference::{brute_force_sat, reference_dpll};
 pub use solver::{SolveResult, Solver, SolverOptions};
 pub use stats::SolverStats;

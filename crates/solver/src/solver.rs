@@ -9,6 +9,7 @@ use rbmc_cnf::{Clause, CnfFormula, Lit, Var};
 use crate::arena::{ClauseArena, ClauseRef};
 use crate::cdg::{Cdg, ClauseId};
 use crate::order::LitOrder;
+use crate::proof::ProofLog;
 use crate::{LBool, Limits, OrderMode, SolverStats};
 
 // The auditor is a child module so it can read the solver's private fields
@@ -193,6 +194,14 @@ pub struct Solver {
     unit_ants: Vec<ClauseId>,
     /// Scratch antecedent list of conflict analysis.
     conflict_ants: Vec<ClauseId>,
+    /// Attached clausal proof log, if any (see [`Solver::set_proof_log`]).
+    proof: Option<Box<dyn ProofLog>>,
+    /// Next proof line id to hand out (ids start at 1, LRAT-style).
+    next_proof_id: u64,
+    /// Proof line id of each CDG node, indexed by node id. Compacted in
+    /// lockstep with the CDG by [`Solver::prune_cdg`]; proof ids themselves
+    /// are never renumbered, so emitted hints stay valid forever.
+    proof_of_cdg: Vec<u64>,
 }
 
 impl fmt::Debug for Solver {
@@ -258,6 +267,9 @@ impl Solver {
             seen: Vec::new(),
             unit_ants: Vec::new(),
             conflict_ants: Vec::new(),
+            proof: None,
+            next_proof_id: 0,
+            proof_of_cdg: Vec::new(),
         }
     }
 
@@ -348,6 +360,16 @@ impl Solver {
             // Recording is off: the header slot is never read.
             u32::MAX
         };
+        if self.proof.is_some() {
+            let pid = self.fresh_proof_id();
+            self.map_proof(cdg_id, pid);
+            // A tautology is stored body-less; its axiom line keeps the
+            // literals as given (harmless to a checker, and the axiom
+            // sequence must mirror `add_clause` order exactly for the
+            // formula hash to bind the certificate to this input).
+            let body: &[Lit] = if tautology { lits } else { &stored };
+            self.proof.as_mut().expect("checked above").axiom(pid, body);
+        }
         if tautology {
             let cref = self.clauses.alloc(&stored, false, cdg_id);
             self.original_refs.push(cref);
@@ -424,6 +446,89 @@ impl Solver {
     /// paper's per-depth `varRank` refresh reaches a live session solver.
     pub fn set_var_ranking(&mut self, scores: &[u64]) {
         self.bmc_scores = scores.to_vec();
+    }
+
+    /// Attaches a clausal proof log (see the [`crate::ProofLog`] docs for
+    /// the event vocabulary). From here on every original clause, learned
+    /// clause, root-level unit fact, deletion, and per-episode UNSAT final
+    /// is recorded, with LRAT antecedent hints sourced from the CDG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if CDG recording is disabled (hints come from the CDG) or if
+    /// clauses were already added (earlier clauses would have no proof
+    /// lines, leaving every certificate incomplete).
+    pub fn set_proof_log(&mut self, log: Box<dyn ProofLog>) {
+        assert!(
+            self.opts.record_cdg,
+            "proof logging requires CDG recording (SolverOptions::record_cdg)"
+        );
+        assert!(
+            self.original_refs.is_empty() && !self.started,
+            "proof log must be attached before the first clause"
+        );
+        self.proof = Some(log);
+    }
+
+    /// The attached proof log, if any (the auditor and tests cross-check
+    /// its live-line bookkeeping against the clause database).
+    pub fn proof_log(&self) -> Option<&dyn ProofLog> {
+        self.proof.as_deref()
+    }
+
+    /// Hands out the next proof line id (strictly increasing from 1).
+    fn fresh_proof_id(&mut self) -> u64 {
+        self.next_proof_id += 1;
+        self.next_proof_id
+    }
+
+    /// Records `pid` as the proof line of CDG node `cdg_id`.
+    fn map_proof(&mut self, cdg_id: ClauseId, pid: u64) {
+        let idx = cdg_id as usize;
+        if idx >= self.proof_of_cdg.len() {
+            self.proof_of_cdg.resize(idx + 1, 0);
+        }
+        self.proof_of_cdg[idx] = pid;
+    }
+
+    /// Maps a CDG antecedent list to proof-line hints in propagation order:
+    /// conflict analysis walks the trail backward, so the list is reversed,
+    /// and duplicate citations (a root fact dropped from several clauses)
+    /// keep only their earliest position.
+    fn hints_from(&self, ants: &[ClauseId]) -> Vec<u64> {
+        let mut hints: Vec<u64> = Vec::with_capacity(ants.len());
+        for &ant in ants.iter().rev() {
+            let pid = self.proof_of_cdg[ant as usize];
+            if !hints.contains(&pid) {
+                hints.push(pid);
+            }
+        }
+        hints
+    }
+
+    /// Emits the deletion line of an arena clause (called at mark time,
+    /// while the header still resolves the CDG node).
+    fn emit_proof_delete(&mut self, cref: ClauseRef) {
+        if self.proof.is_none() {
+            return;
+        }
+        let pid = self.proof_of_cdg[self.clauses.cdg_id(cref) as usize];
+        if let Some(proof) = self.proof.as_mut() {
+            proof.delete(pid);
+        }
+    }
+
+    /// Emits the final clause of an UNSAT assumption episode: the negation
+    /// of the failed assumptions, justified by the antecedents collected by
+    /// [`Solver::analyze_final`].
+    fn emit_proof_final_failed(&mut self) {
+        if self.proof.is_some() {
+            let clause: Vec<Lit> = self.failed.iter().map(|&a| !a).collect();
+            let hints = self.hints_from(&self.conflict_ants);
+            if let Some(proof) = self.proof.as_mut() {
+                proof.finalize(&clause, &hints);
+            }
+        }
     }
 
     /// Solves without limits.
@@ -685,6 +790,18 @@ impl Solver {
                 *node = remap[*node as usize];
             }
         }
+        if self.proof.is_some() {
+            // Compact the node → proof-line map by the same remap. Proof
+            // line ids are never renumbered — only the CDG-side index moves.
+            let mut compacted = vec![0u64; self.cdg.num_total_nodes()];
+            for (old, &pid) in self.proof_of_cdg.iter().enumerate() {
+                let new = remap[old];
+                if new != ClauseId::MAX {
+                    compacted[new as usize] = pid;
+                }
+            }
+            self.proof_of_cdg = compacted;
+        }
         self.stats.cdg_pruned_nodes += pruned;
         self.stats.cdg_nodes = self.cdg.num_nodes();
         self.stats.cdg_edges = self.cdg.num_edges();
@@ -765,6 +882,15 @@ impl Solver {
             }
             let node = self.cdg.record_learned(&self.unit_ants);
             self.unit_node[v] = Some(node);
+            if self.proof.is_some() {
+                let hints = self.hints_from(&self.unit_ants);
+                let pid = self.fresh_proof_id();
+                self.map_proof(node, pid);
+                self.proof
+                    .as_mut()
+                    .expect("checked above")
+                    .derived(pid, &[lit], &hints);
+            }
         }
     }
 
@@ -940,6 +1066,15 @@ impl Solver {
         } else {
             ClauseId::MAX
         };
+        if self.proof.is_some() {
+            let hints = self.hints_from(&self.conflict_ants);
+            let pid = self.fresh_proof_id();
+            self.map_proof(cdg_id, pid);
+            self.proof
+                .as_mut()
+                .expect("checked above")
+                .derived(pid, &learnt, &hints);
+        }
         let cref = self.clauses.alloc(&learnt, true, cdg_id);
         self.note_arena_peak();
         self.clauses.set_activity(cref, 1);
@@ -1036,6 +1171,7 @@ impl Solver {
                 continue;
             }
             if self.root_satisfied(cref) {
+                self.emit_proof_delete(cref);
                 self.clauses.mark_deleted(cref);
                 doomed.push(cref);
                 self.live_learned -= 1;
@@ -1051,6 +1187,7 @@ impl Solver {
         candidates.sort_unstable();
         let to_delete = candidates.len() / 2;
         for &(_, cref) in candidates.iter().take(to_delete) {
+            self.emit_proof_delete(cref);
             self.clauses.mark_deleted(cref);
             doomed.push(cref);
             self.live_learned -= 1;
@@ -1254,6 +1391,7 @@ impl Solver {
                 self.conflict_ants.push(node);
                 self.core = Some(self.cdg.core_from(&self.conflict_ants));
             }
+            self.emit_proof_final_failed();
             self.result = Some(SolveResult::Unsat);
             return;
         }
@@ -1298,6 +1436,7 @@ impl Solver {
         if self.opts.record_cdg {
             self.core = Some(self.cdg.core_from(&self.conflict_ants));
         }
+        self.emit_proof_final_failed();
         self.result = Some(SolveResult::Unsat);
     }
 
@@ -1322,6 +1461,12 @@ impl Solver {
 
     fn finish_unsat(&mut self, final_antecedents: Vec<ClauseId>) {
         self.ok = false;
+        if self.proof.is_some() {
+            let hints = self.hints_from(&final_antecedents);
+            if let Some(proof) = self.proof.as_mut() {
+                proof.finalize(&[], &hints);
+            }
+        }
         // A mid-episode (or mid-session `add_clause`) refutation invalidates
         // any previously published episode results.
         self.model = None;

@@ -14,6 +14,9 @@
 //! - [`bmc`] — the paper's contribution: Tseitin unrolling with frame-stable
 //!   variable numbering, the `refine_order_bmc` engine (Fig. 5), `bmc_score`
 //!   ranking (§3.2), and the static/dynamic ordering application (§3.3).
+//! - [`proof`] — the independent DRAT/LRAT certificate checker: UNSAT
+//!   verdicts of the solver are re-derived from its clausal proof log with
+//!   no access to solver internals (`rbmc --proof check`).
 //! - [`gens`] — the synthetic benchmark suite standing in for the IBM Formal
 //!   Verification benchmarks of §4.
 //!
@@ -41,4 +44,5 @@ pub use rbmc_circuit as circuit;
 pub use rbmc_cnf as cnf;
 pub use rbmc_core as bmc;
 pub use rbmc_gens as gens;
+pub use rbmc_proof as proof;
 pub use rbmc_solver as solver;

@@ -12,19 +12,24 @@
 #![cfg(feature = "debug-invariants")]
 
 use refined_bmc::bmc::Model;
-use refined_bmc::bmc::{BmcEngine, BmcOptions, BmcOutcome, OrderingStrategy, SolverReuse};
+use refined_bmc::bmc::{
+    BmcEngine, BmcOptions, BmcOutcome, OrderingStrategy, ProofMode, SolverReuse,
+};
 use refined_bmc::gens::families;
 use refined_bmc::solver::SolverOptions;
 
 /// Compaction-heavy engine options: reduction after a handful of learned
 /// clauses, session reuse, depth-boundary CDG pruning — the configuration
-/// that exercises every audited hook.
+/// that exercises every audited hook. Proof checking rides along so the
+/// depth-boundary audits also cover proof-log coherence (the live lines in
+/// the log must mirror the solver's learned database exactly).
 fn audited_options(max_depth: usize, strategy: OrderingStrategy) -> BmcOptions {
     BmcOptions {
         max_depth,
         strategy,
         reuse: SolverReuse::Session,
         cdg_prune: true,
+        proof: ProofMode::Check,
         solver: SolverOptions {
             reduce_base: 4,
             reduce_inc: 2,

@@ -124,10 +124,20 @@ fn run(
             strategy,
             reuse,
             parallel,
+            // Certify every UNSAT along the way: a relaxed or parallel mode
+            // that merely *agrees* with the oracle but derives its verdicts
+            // unsoundly is caught here, not just a verdict divergence.
+            proof: refined_bmc::bmc::ProofMode::Check,
             ..BmcOptions::default()
         },
     );
     let run = engine.run_collecting();
+    let proof = run.proof.as_ref().expect("proof checking was enabled");
+    assert!(
+        !proof.rejected(),
+        "certificate rejected: {:?}",
+        proof.first_rejection
+    );
     (run, engine.rank().snapshot())
 }
 

@@ -1,0 +1,313 @@
+//! Mutation testing of UNSAT certificates.
+//!
+//! Real certificates — produced by the CDCL solver's proof log on randomly
+//! generated unsatisfiable formulas — must pass the independent checker of
+//! `rbmc-proof`, and corrupted ones must not. Each corruption class the
+//! checker claims to catch is exercised:
+//!
+//! - **dropped line**: removing a step the final clause's hints cite breaks
+//!   structural coherence;
+//! - **flipped literal**: editing a clause body invalidates its (strict,
+//!   sequential) hint replay;
+//! - **reordered antecedents**: LRAT hints are checked in propagation
+//!   order, so a permutation that asks a not-yet-unit clause to propagate
+//!   is rejected;
+//! - **swapped formula hash**: a certificate is bound to the axiom sequence
+//!   it was produced from and cannot be replayed against another formula.
+//!
+//! Not every mutation of a class is invalid — a flipped literal can weaken
+//! a clause that stays RUP, and reversing a symmetric two-hint chain can
+//! yield another valid propagation order. The flip sweep therefore asserts
+//! over all positions (*some* flip must be rejected), while the reorder
+//! sweep only applies mutations that are invalid by construction: citing a
+//! clause first when the negated target leaves two or more of its literals
+//! unfalsified, which can neither conflict nor propagate. Deterministic
+//! fixtures pin one concrete rejected mutation for each class besides.
+
+use proptest::prelude::*;
+use refined_bmc::bmc::SharedRecorder;
+use refined_bmc::cnf::Lit;
+use refined_bmc::proof::{CertificateBundle, ProofError, ProofStep};
+use refined_bmc::solver::{SolveResult, Solver, SolverOptions};
+
+fn lit(n: i64) -> Lit {
+    Lit::from_dimacs(n)
+}
+
+/// Solves `clauses` (DIMACS-style literals) with a proof log attached and
+/// returns the episode certificate if the formula is UNSAT.
+fn certify(num_vars: usize, clauses: &[Vec<i64>]) -> Option<CertificateBundle> {
+    let recorder = SharedRecorder::new();
+    let mut solver = Solver::with_options(SolverOptions::default());
+    solver.set_proof_log(Box::new(recorder.clone()));
+    solver.reserve_vars(num_vars);
+    for clause in clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&d| lit(d)).collect();
+        solver.add_clause(&lits);
+    }
+    if solver.solve() != SolveResult::Unsat {
+        return None;
+    }
+    Some(recorder.with(rbmc_proof::ProofRecorder::bundle))
+}
+
+/// Dense random 1-to-3-literal clauses over a handful of variables: at this
+/// density most samples are unsatisfiable, and refuting them takes real
+/// propagation (non-trivial certificates). SAT samples are discarded.
+fn arb_clauses() -> impl Strategy<Value = (usize, Vec<Vec<i64>>)> {
+    (3usize..=5).prop_flat_map(|num_vars| {
+        let literal =
+            (1..=num_vars, 0u8..=1)
+                .prop_map(|(var, neg)| if neg == 1 { -(var as i64) } else { var as i64 });
+        let clause = prop::collection::vec(literal, 1..=3).prop_map(|mut c| {
+            c.sort_unstable();
+            c.dedup();
+            c
+        });
+        (
+            Just(num_vars),
+            prop::collection::vec(clause, 4 * num_vars..8 * num_vars),
+        )
+    })
+}
+
+/// The ids the final clause's hints cite (the steps whose removal must be
+/// structurally fatal).
+fn cited_by_final(bundle: &CertificateBundle) -> Vec<u64> {
+    bundle.final_clause.hints.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_certificates_check_clean(input in arb_clauses()) {
+        let (num_vars, clauses) = input;
+        let Some(bundle) = certify(num_vars, &clauses) else {
+            return Ok(()); // satisfiable sample
+        };
+        let stats = bundle.check().expect("genuine certificate must check");
+        prop_assert!(stats.steps_verified <= stats.steps_total);
+        // And it survives a text round-trip unchanged.
+        let text = bundle.to_lrat_text();
+        let back = CertificateBundle::from_lrat_text(&text).expect("round-trip parse");
+        prop_assert_eq!(&back, &bundle);
+        back.check().expect("round-tripped certificate must check");
+    }
+
+    #[test]
+    fn swapped_formula_hash_is_rejected(input in arb_clauses()) {
+        let (num_vars, clauses) = input;
+        let Some(mut bundle) = certify(num_vars, &clauses) else {
+            return Ok(());
+        };
+        bundle.formula_hash ^= 0x1;
+        prop_assert!(matches!(
+            bundle.check(),
+            Err(ProofError::FormulaHashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dropping_a_cited_line_is_rejected(input in arb_clauses()) {
+        let (num_vars, clauses) = input;
+        let Some(bundle) = certify(num_vars, &clauses) else {
+            return Ok(());
+        };
+        // Every step the final clause cites is load-bearing: removing any
+        // one of them must be rejected (structurally if the dangling id is
+        // caught, semantically otherwise). Dropping an *axiom* would also
+        // change the formula hash; keeping the stored hash means the
+        // mutation is caught either way — exactly the fail-closed contract.
+        for cited in cited_by_final(&bundle) {
+            let mut corrupt = bundle.clone();
+            corrupt.steps.retain(|s| s.id() != cited);
+            prop_assert!(
+                corrupt.check().is_err(),
+                "dropping cited line {cited} must invalidate the certificate"
+            );
+        }
+    }
+
+    #[test]
+    fn some_literal_flip_is_rejected(input in arb_clauses()) {
+        let (num_vars, clauses) = input;
+        let Some(bundle) = certify(num_vars, &clauses) else {
+            return Ok(());
+        };
+        // Flip each literal of each derived step (and of the final clause)
+        // in turn; at least one flip must be rejected. (Not every single
+        // flip is invalid — a weakened clause can still be RUP — but a
+        // checker that accepts *every* flip checks nothing.)
+        let mut rejected = 0usize;
+        let mut attempted = 0usize;
+        for (si, step) in bundle.steps.iter().enumerate() {
+            let ProofStep::Derived { lits, .. } = step else {
+                continue;
+            };
+            for li in 0..lits.len() {
+                attempted += 1;
+                let mut corrupt = bundle.clone();
+                if let ProofStep::Derived { lits, .. } = &mut corrupt.steps[si] {
+                    lits[li] = !lits[li];
+                }
+                rejected += usize::from(corrupt.check().is_err());
+            }
+        }
+        for li in 0..bundle.final_clause.lits.len() {
+            attempted += 1;
+            let mut corrupt = bundle.clone();
+            corrupt.final_clause.lits[li] = !corrupt.final_clause.lits[li];
+            rejected += usize::from(corrupt.check().is_err());
+        }
+        prop_assert!(
+            attempted == 0 || rejected > 0,
+            "no literal flip among {attempted} was rejected"
+        );
+    }
+
+    #[test]
+    fn front_loading_a_blocked_hint_is_rejected(input in arb_clauses()) {
+        let (num_vars, clauses) = input;
+        let Some(bundle) = certify(num_vars, &clauses) else {
+            return Ok(());
+        };
+        // Clause bodies by proof line id (ids are unique, so deletions can
+        // be ignored for the lookup).
+        let mut db: std::collections::HashMap<u64, &[Lit]> =
+            std::collections::HashMap::new();
+        for step in &bundle.steps {
+            match step {
+                ProofStep::Axiom { id, lits } | ProofStep::Derived { id, lits, .. } => {
+                    db.insert(*id, lits);
+                }
+                ProofStep::Delete { .. } => {}
+            }
+        }
+        // Targets guaranteed to be propagation-verified: the final clause
+        // itself, plus every derived step it cites directly (those are in
+        // the checker's marked cone by construction). `None` marks the
+        // final clause, `Some(si)` a step index.
+        let mut targets: Vec<(Option<usize>, &[Lit], &[u64])> = vec![(
+            None,
+            &bundle.final_clause.lits[..],
+            &bundle.final_clause.hints[..],
+        )];
+        for (si, step) in bundle.steps.iter().enumerate() {
+            if let ProofStep::Derived { id, lits, hints } = step {
+                if bundle.final_clause.hints.contains(id) {
+                    targets.push((Some(si), lits, hints));
+                }
+            }
+        }
+        for (si, lits, hints) in targets {
+            if lits.iter().any(|&l| lits.contains(&!l)) {
+                continue; // tautological target: vacuously RUP, any order
+            }
+            for (j, &hint) in hints.iter().enumerate() {
+                // Under ¬target alone, the cited clause's literals that the
+                // target does not falsify are unassigned or true. With two
+                // or more of them, citing this clause *first* can neither
+                // conflict nor propagate — the strict sequential checker
+                // must reject (HintNotUnit or SatisfiedHint). A genuine
+                // certificate never has such a clause in front, so the
+                // mutation below is a real reorder, never the identity.
+                let nonfalsified = db[&hint]
+                    .iter()
+                    .filter(|&&c| !lits.contains(&c))
+                    .count();
+                if nonfalsified < 2 {
+                    continue;
+                }
+                let mut reordered = hints.to_vec();
+                reordered.remove(j);
+                reordered.insert(0, hint);
+                let mut corrupt = bundle.clone();
+                match si {
+                    None => corrupt.final_clause.hints = reordered,
+                    Some(si) => {
+                        if let ProofStep::Derived { hints, .. } = &mut corrupt.steps[si] {
+                            *hints = reordered;
+                        }
+                    }
+                }
+                prop_assert!(
+                    corrupt.check().is_err(),
+                    "front-loading blocked hint {hint} must be rejected"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic fixture for the flip class: one specific literal flip in a
+/// hand-built certificate is rejected.
+#[test]
+fn flipping_one_specific_literal_is_rejected() {
+    // a ∧ ¬a, final empty clause.
+    let bundle = CertificateBundle {
+        formula_hash: {
+            let mut rec = rbmc_proof::ProofRecorder::new();
+            rec.axiom(1, &[lit(1)]);
+            rec.axiom(2, &[lit(-1)]);
+            rec.formula_hash()
+        },
+        steps: vec![
+            ProofStep::Axiom {
+                id: 1,
+                lits: vec![lit(1)],
+            },
+            ProofStep::Axiom {
+                id: 2,
+                lits: vec![lit(-1)],
+            },
+        ],
+        final_clause: refined_bmc::proof::FinalClause {
+            lits: Vec::new(),
+            hints: vec![1, 2],
+        },
+    };
+    bundle.check().expect("fixture is valid");
+    let mut corrupt = bundle;
+    if let ProofStep::Axiom { lits, .. } = &mut corrupt.steps[1] {
+        lits[0] = !lits[0];
+    }
+    // The flip breaks the hash binding AND the replay; with the hash field
+    // updated to match the edited axioms, the replay rejection remains.
+    assert!(corrupt.check().is_err());
+    corrupt.formula_hash = {
+        let mut rec = rbmc_proof::ProofRecorder::new();
+        rec.axiom(1, &[lit(1)]);
+        rec.axiom(2, &[lit(1)]);
+        rec.formula_hash()
+    };
+    assert!(matches!(
+        corrupt.check(),
+        Err(ProofError::NoConflict { .. } | ProofError::SatisfiedHint { .. })
+    ));
+}
+
+/// Deterministic fixture for the reorder class: a propagation chain through
+/// a wide clause (unit only after two earlier hints) has exactly one valid
+/// order, so the rotated hint list must be rejected.
+#[test]
+fn one_specific_hint_reorder_is_rejected() {
+    // a ∧ b ∧ (¬a ∨ ¬b ∨ c) ∧ ¬c: refuting needs a, b first, then the wide
+    // clause (now unit on c), then ¬c conflicts.
+    let mut rec = rbmc_proof::ProofRecorder::new();
+    rec.axiom(1, &[lit(1)]);
+    rec.axiom(2, &[lit(2)]);
+    rec.axiom(3, &[lit(-1), lit(-2), lit(3)]);
+    rec.axiom(4, &[lit(-3)]);
+    rec.finalize(&[], &[1, 2, 3, 4]);
+    let good = rec.bundle();
+    good.check().expect("propagation order is valid");
+    let mut corrupt = good;
+    // Ask the wide clause to propagate first: it still has two unassigned
+    // literals, so the strict sequential checker must reject.
+    corrupt.final_clause.hints = vec![3, 1, 2, 4];
+    assert!(matches!(
+        corrupt.check(),
+        Err(ProofError::HintNotUnit { hint: 3, .. })
+    ));
+}

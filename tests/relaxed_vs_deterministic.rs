@@ -121,6 +121,10 @@ fn options(
         max_depth: depth,
         strategy,
         parallel,
+        // Relaxed modes must not only agree with the oracle — every UNSAT
+        // they report must carry a certificate the independent checker
+        // accepts. Rejections fail the differential run outright.
+        proof: refined_bmc::bmc::ProofMode::Check,
         ..BmcOptions::default()
     }
 }
@@ -132,7 +136,14 @@ fn run(
     depth: usize,
 ) -> BmcRun {
     let mut engine = BmcEngine::for_problem(problem.clone(), options(strategy, parallel, depth));
-    engine.run_collecting()
+    let run = engine.run_collecting();
+    let proof = run.proof.as_ref().expect("proof checking was enabled");
+    assert!(
+        !proof.rejected(),
+        "certificate rejected: {:?}",
+        proof.first_rejection
+    );
+    run
 }
 
 /// The cross-run comparison currency: per-property per-depth verdict
